@@ -1,0 +1,146 @@
+"""Ablations of the design choices the paper calls out.
+
+* geometric vs. arithmetic mean (section 3.1.2's 1,1,1498 argument);
+* the number of tracked neighbors n (section 3.1.3, n = 20);
+* the four meaningless-process strategies (section 4.1);
+* the frequently-referenced-file filter (section 4.2);
+* directory distance in the clustering decision (section 3.3.3).
+
+Each ablation reruns the machine-D miss-free simulation with one knob
+changed and reports/validates the direction of the effect.
+"""
+
+import pytest
+
+from benchmarks.conftest import DAY, get_trace
+from repro.core import Seer
+from repro.observer import MeaninglessStrategy
+from repro.simulation import SIM_PARAMETERS, simulation_control
+from repro.simulation.missfree import simulate_miss_free
+
+MACHINE = "D"
+
+
+def run(benchmark, parameters=None, **kwargs):
+    trace = get_trace(MACHINE)
+    return benchmark.pedantic(
+        lambda: simulate_miss_free(trace, DAY, parameters=parameters, **kwargs),
+        rounds=1, iterations=1)
+
+
+class TestDataReduction:
+    def test_geometric_mean_baseline(self, benchmark):
+        result = run(benchmark, SIM_PARAMETERS)
+        assert result.mean_seer < result.mean_lru
+
+    def test_arithmetic_mean_ablation(self, benchmark):
+        params = SIM_PARAMETERS.with_changes(use_geometric_mean=False)
+        result = run(benchmark, params)
+        # Still functional (the clustering input is the neighbor SET),
+        # but the summary no longer privileges small distances.
+        assert result.windows
+
+
+class TestNeighborCount:
+    @pytest.mark.parametrize("n", [5, 10, 20, 40])
+    def test_neighbor_count_sweep(self, benchmark, n):
+        params = SIM_PARAMETERS.with_changes(max_neighbors=n)
+        result = run(benchmark, params)
+        assert result.windows
+        # Sanity: SEER remains within an order of magnitude of optimal
+        # across the sweep; quality degrades gracefully, not abruptly.
+        assert result.mean_seer <= 10 * result.mean_working_set
+
+
+class TestMeaninglessStrategies:
+    """Section 4.1's four approaches, compared live."""
+
+    def _seer_with_strategy(self, strategy):
+        trace = get_trace(MACHINE)
+        seer = Seer(kernel=trace.kernel, parameters=SIM_PARAMETERS,
+                    control=simulation_control(), attach=False,
+                    strategy=strategy)
+        for record in trace.records:
+            seer.observer.handle_record(record)
+        return seer
+
+    @pytest.mark.parametrize("strategy", list(MeaninglessStrategy))
+    def test_strategy_drop_counts(self, benchmark, strategy):
+        seer = benchmark.pedantic(
+            lambda: self._seer_with_strategy(strategy), rounds=1, iterations=1)
+        drops = seer.observer.drops["meaningless"]
+        if strategy is MeaninglessStrategy.THRESHOLD:
+            # The keeper: find/grep muted after their history builds,
+            # but the editor's touch ratio stays low (meaningful).
+            assert drops > 0
+            assert seer.observer.meaningless.touch_ratio("find") is None or \
+                not seer.observer.meaningless.is_meaningless(0, "vi")
+        if strategy is MeaninglessStrategy.CONTROL_LIST:
+            # Only hand-listed programs are ever dropped; find is not
+            # on the default list, so its scans poison the tables.
+            assert drops == 0
+
+    def test_directory_permanent_marks_editors(self, benchmark):
+        """The failure mode the paper describes for approach 2: many
+        meaningful programs (editors doing filename completion) read
+        directories and get marked forever."""
+        from repro.observer.filters import MeaninglessDetector
+        detector = benchmark.pedantic(
+            lambda: MeaninglessDetector(
+                strategy=MeaninglessStrategy.DIRECTORY_PERMANENT),
+            rounds=1, iterations=1)
+        # An editor scans a directory once for completion...
+        detector.on_directory_open(pid=1)
+        detector.on_directory_close(pid=1)
+        detector.on_file_access(pid=1, program="vi")
+        # ...and is meaningless for the rest of its lifetime: wrong.
+        assert detector.is_meaningless(1, "vi")
+
+
+class TestFrequentFileFilter:
+    def test_filter_disabled_degrades_clusters(self, benchmark):
+        # Without the 1 % rule, shared libraries link otherwise
+        # unrelated files (section 4.2): the biggest cluster grows.
+        trace = get_trace(MACHINE)
+
+        def biggest_cluster(params):
+            seer = Seer(kernel=trace.kernel, parameters=params,
+                        control=simulation_control(), attach=False)
+            for record in trace.records:
+                seer.observer.handle_record(record)
+            clusters = seer.build_clusters()
+            return max(len(clusters.members(c)) for c in clusters.cluster_ids())
+
+        with_filter = benchmark.pedantic(
+            lambda: biggest_cluster(SIM_PARAMETERS), rounds=1, iterations=1)
+        without = biggest_cluster(SIM_PARAMETERS.with_changes(
+            frequent_file_fraction=0.999999,
+            frequent_file_minimum_accesses=10**9))
+        assert without >= with_filter
+
+
+class TestDirectoryDistance:
+    def test_without_directory_distance(self, benchmark):
+        # Section 3.3.3: directory distance keeps widely-separated
+        # files from clustering; without it clusters bloat, costing
+        # hoard space.
+        trace = get_trace(MACHINE)
+        baseline = simulate_miss_free(trace, DAY)
+
+        def without():
+            from repro.core.hoard import HoardManager
+            params = SIM_PARAMETERS.with_changes(directory_distance_weight=0.0)
+            return simulate_miss_free(trace, DAY, parameters=params)
+
+        result = benchmark.pedantic(without, rounds=1, iterations=1)
+        assert result.mean_seer >= 0.8 * baseline.mean_seer
+
+
+class TestClusteringThresholds:
+    @pytest.mark.parametrize("kn,kf", [(0.55, 0.40), (0.67, 0.55), (0.80, 0.65)])
+    def test_threshold_sensitivity(self, benchmark, kn, kf):
+        # "The clustering algorithms are more parameter-sensitive than
+        # one would like" (section 7): the sweep documents it.
+        params = SIM_PARAMETERS.with_changes(kn_fraction=kn, kf_fraction=kf)
+        result = run(benchmark, params)
+        assert result.windows

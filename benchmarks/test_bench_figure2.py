@@ -1,0 +1,68 @@
+"""Figure 2: mean working sets and miss-free hoard sizes, machines A-I.
+
+The paper's central result.  For every machine we simulate daily and
+weekly disconnections; for B, F and G (the machines the paper marks
+with an asterisk) also with external investigators.  Expected shape:
+SEER's bar sits a little above the working set; LRU's extends far
+beyond, by factors that can exceed 10:1; investigators make no
+significant difference.
+"""
+
+import os
+
+import pytest
+
+from benchmarks.conftest import DAY, WEEK, get_missfree
+from repro.analysis import render_figure2
+
+MACHINES = list("ABCDEFGHI")
+INVESTIGATED = ["B", "F", "G"]
+
+
+@pytest.mark.parametrize("machine", MACHINES)
+@pytest.mark.parametrize("window,label", [(DAY, "daily"), (WEEK, "weekly")])
+def test_figure2_machine(benchmark, machine, window, label):
+    result = benchmark.pedantic(
+        lambda: get_missfree(machine, window), rounds=1, iterations=1)
+    assert result.windows, f"no active windows for machine {machine}"
+    # SEER never needs more space than LRU on average...
+    assert result.mean_seer <= result.mean_lru * 1.05
+    # ...and stays within a small factor of the optimum.
+    assert result.mean_seer <= 3.0 * result.mean_working_set
+
+
+@pytest.mark.parametrize("machine", INVESTIGATED)
+@pytest.mark.parametrize("window,label", [(DAY, "daily"), (WEEK, "weekly")])
+def test_figure2_with_investigators(benchmark, machine, window, label):
+    result = benchmark.pedantic(
+        lambda: get_missfree(machine, window, use_investigators=True),
+        rounds=1, iterations=1)
+    plain = get_missfree(machine, window)
+    # The paper's anomaly: investigators have no statistically
+    # meaningful effect on the required hoard size.
+    assert result.mean_seer <= 2.0 * plain.mean_seer
+    assert plain.mean_seer <= 2.0 * max(result.mean_seer, 1)
+
+
+def test_figure2_render(benchmark, output_dir):
+    """Render the complete figure from everything computed above."""
+    def collect():
+        results = []
+        for machine in MACHINES:
+            for window in (DAY, WEEK):
+                results.append(get_missfree(machine, window))
+        for machine in INVESTIGATED:
+            for window in (DAY, WEEK):
+                results.append(get_missfree(machine, window,
+                                            use_investigators=True))
+        return results
+
+    results = benchmark.pedantic(collect, rounds=1, iterations=1)
+    text = render_figure2(results, show_ci=False)
+    with open(os.path.join(output_dir, "figure2.txt"), "w") as stream:
+        stream.write(text + "\n")
+    # Headline claim: LRU's mean exceeds SEER's on every machine, and
+    # the worst ratios are large.
+    ratios = [r.lru_to_seer_ratio for r in results if r.windows]
+    assert min(ratios) >= 1.0
+    assert max(ratios) > 5.0

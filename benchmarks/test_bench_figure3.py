@@ -1,0 +1,42 @@
+"""Figure 3: per-window hoard sizes vs. sorted working sets, machine F.
+
+The paper's detailed view of its most heavily used machine under
+weekly disconnections: each X value is one week (sorted by working-set
+size); SEER's miss-free size hugs the working-set curve while LRU's
+floats far above it.
+"""
+
+import os
+
+import pytest
+
+from benchmarks.conftest import WEEK, get_missfree
+from repro.analysis import render_figure3
+
+
+def test_figure3_machine_f(benchmark, output_dir):
+    result = benchmark.pedantic(
+        lambda: get_missfree("F", WEEK), rounds=1, iterations=1)
+    assert len(result.windows) >= 3
+
+    text = render_figure3(result)
+    with open(os.path.join(output_dir, "figure3.txt"), "w") as stream:
+        stream.write(text + "\n")
+
+    # Shape: in (almost) every week LRU needs at least as much as SEER,
+    # and in most weeks dramatically more.
+    worse = sum(1 for w in result.windows if w.lru_bytes >= w.seer_bytes)
+    assert worse >= len(result.windows) - 1
+    much_worse = sum(1 for w in result.windows
+                     if w.lru_bytes >= 1.5 * w.seer_bytes)
+    assert much_worse >= len(result.windows) // 2
+
+
+def test_figure3_seer_tracks_working_set(benchmark):
+    result = benchmark.pedantic(
+        lambda: get_missfree("F", WEEK), rounds=1, iterations=1)
+    overheads = [w.seer_overhead for w in result.windows]
+    # Median weekly overhead stays within a small factor of optimal.
+    overheads.sort()
+    median = overheads[len(overheads) // 2]
+    assert median < 2.5

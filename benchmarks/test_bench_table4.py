@@ -1,0 +1,59 @@
+"""Table 4: failed disconnections at each severity.
+
+Expected shape from the paper: most machines see few or no failed
+disconnections; the heavily used machine F, whose working set
+approaches its (deliberately undersized) 50 MB hoard, fails a
+noticeable fraction (~13 %); no one ever suffers a severity-0 miss;
+automatic detections meet or exceed user-reported misses.
+"""
+
+import os
+
+import pytest
+
+from benchmarks.conftest import get_live
+from repro.analysis import render_table4
+from repro.core.hoard import MissSeverity
+
+MACHINES = list("ABCDEFGHI")
+
+
+def test_table4_render(benchmark, output_dir):
+    results = benchmark.pedantic(
+        lambda: [get_live(machine) for machine in MACHINES],
+        rounds=1, iterations=1)
+    text = render_table4(results)
+    with open(os.path.join(output_dir, "table4.txt"), "w") as stream:
+        stream.write(text + "\n")
+    assert "Table 4" in text
+
+
+def test_table4_no_severity_zero(benchmark):
+    results = benchmark.pedantic(
+        lambda: [get_live(machine) for machine in MACHINES],
+        rounds=1, iterations=1)
+    for result in results:
+        assert result.failures_at_severity(MissSeverity.COMPUTER_UNUSABLE) == 0
+
+
+def test_table4_f_is_the_stressed_machine(benchmark):
+    results = benchmark.pedantic(
+        lambda: {machine: get_live(machine) for machine in MACHINES},
+        rounds=1, iterations=1)
+    failures = {name: r.failures_any_severity() for name, r in results.items()}
+    # F fails the most (ties allowed), and a noticeable fraction.
+    assert failures["F"] == max(failures.values())
+    f_rate = failures["F"] / len(results["F"].outcomes)
+    assert 0.03 <= f_rate <= 0.35
+    # Everyone else suffers only a small fraction of failures.
+    for name, result in results.items():
+        if name != "F" and result.outcomes:
+            assert failures[name] / len(result.outcomes) <= 0.15
+
+
+def test_table4_auto_exceeds_manual(benchmark):
+    results = benchmark.pedantic(
+        lambda: [get_live(machine) for machine in MACHINES],
+        rounds=1, iterations=1)
+    for result in results:
+        assert result.automatic_detections() >= result.failures_any_severity()

@@ -1,0 +1,50 @@
+"""Web-caching extension benchmark (paper section 7's future work).
+
+Expected shape: at capacities well below the page population, SEER
+cluster prefetching beats plain LRU substantially; as capacity grows
+toward "everything fits", the advantage narrows -- the same crossover
+structure as hoarding itself.
+"""
+
+import os
+
+import pytest
+
+from repro.extensions import BrowsingWorkload, simulate_web_caching
+
+
+@pytest.fixture(scope="module")
+def requests():
+    return BrowsingWorkload(n_sites=12, pages_per_site=8,
+                            n_clients=3, seed=7).generate(400)
+
+
+@pytest.mark.parametrize("capacity", [15, 30, 50])
+def test_prefetch_beats_lru_when_capacity_scarce(benchmark, requests,
+                                                 capacity):
+    lru, prefetch = benchmark.pedantic(
+        lambda: simulate_web_caching(requests, capacity=capacity),
+        rounds=1, iterations=1)
+    assert prefetch.hit_rate > lru.hit_rate + 0.05
+    assert prefetch.prefetch_accuracy > 0.3
+
+
+def test_advantage_narrows_at_large_capacity(benchmark, requests,
+                                             output_dir):
+    def run():
+        rows = []
+        for capacity in (15, 30, 50, 96):
+            lru, prefetch = simulate_web_caching(requests, capacity=capacity)
+            rows.append((capacity, lru.hit_rate, prefetch.hit_rate))
+        return rows
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    with open(os.path.join(output_dir, "webcache.txt"), "w") as stream:
+        for capacity, lru_rate, prefetch_rate in rows:
+            stream.write(f"capacity={capacity}: lru={lru_rate:.3f} "
+                         f"prefetch={prefetch_rate:.3f}\n")
+    advantages = [prefetch_rate - lru_rate
+                  for _, lru_rate, prefetch_rate in rows]
+    # The crossover: the scarce-capacity advantage dwarfs the
+    # everything-fits advantage.
+    assert advantages[0] > advantages[-1] + 0.1

@@ -1,0 +1,71 @@
+"""A live disconnection, end to end, with a replication substrate.
+
+Drives a short deployment of machine F, fills the hoard through the
+RUMOR replication substrate before a disconnection, works disconnected
+(misses are detected and logged with the paper's severities), then
+reconnects and reconciles -- including a conflict when the "server"
+copy changed during the disconnection.
+
+Run:  python examples/live_disconnection.py
+"""
+
+from repro.core.hoard import MissSeverity
+from repro.replication import AccessOutcome, Rumor
+from repro.simulation.live import scaled_hoard_budget, simulate_live_usage
+from repro.workload import generate_machine_trace, machine_profile
+
+MB = 1024 * 1024
+
+
+def main():
+    profile = machine_profile("F")
+    trace = generate_machine_trace(profile, seed=9, days=42)
+    budget = scaled_hoard_budget(trace)
+    print(f"machine {profile.name}: hoard budget "
+          f"{budget / MB:.2f} MB (the paper's 50 MB, scaled)\n")
+
+    result = simulate_live_usage(trace)
+    stats = result.disconnection_statistics()
+    print(f"{stats.count} disconnections, mean {stats.mean:.1f} h, "
+          f"median {stats.median:.1f} h, max {stats.maximum:.1f} h")
+    print(f"failed disconnections: {result.failures_any_severity()} "
+          f"({result.failures_any_severity() / stats.count:.0%})")
+    for severity in MissSeverity:
+        count = result.failures_at_severity(severity)
+        if count:
+            print(f"  severity {severity.value} ({severity.name}): {count}")
+    first = result.first_miss_hours()
+    if first:
+        print(f"hours to first miss (failed disconnections only): "
+              f"{', '.join(f'{h:.1f}' for h in sorted(first))}")
+    print()
+
+    # Now one disconnection by hand, through the replication substrate.
+    replication = Rumor(trace.kernel.fs)
+    hoarded = replication.set_hoard(
+        {path for path, _ in trace.kernel.fs.iter_files("/home/u/src")})
+    print(f"RUMOR fetched {len(hoarded)} files "
+          f"({replication.hoard_bytes() / MB:.2f} MB) into the hoard")
+    replication.disconnect()
+
+    some_file = sorted(hoarded)[0]
+    print(f"disconnected: editing {some_file} locally...")
+    replication.local_update(some_file, size=4_096)
+    print("  ...while a colleague changes the server copy (conflict!)")
+    trace.kernel.fs.write(some_file, size=9_999)
+
+    miss_path = "/home/u/Mail/inbox"
+    outcome = replication.access(miss_path)
+    print(f"access to unhoarded {miss_path}: {outcome.outcome.value} "
+          f"(RUMOR can tell a miss from a nonexistent file)")
+    assert outcome.outcome is AccessOutcome.MISS
+
+    conflicts = replication.reconnect()
+    print(f"reconnected: {len(conflicts)} conflict(s) detected")
+    for conflict in conflicts:
+        print(f"  {conflict.path}: winner={conflict.winner} "
+              f"({conflict.detail})")
+
+
+if __name__ == "__main__":
+    main()

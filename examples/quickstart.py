@@ -1,0 +1,84 @@
+"""Quickstart: watch a user work, then hoard their projects.
+
+Builds a small simulated machine, drives a few bursts of activity
+through the kernel with SEER attached, and prints the clusters SEER
+infers and the hoard it would fill before a disconnection.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro import Kernel, Seer, SeerParameters
+
+
+def build_world(kernel):
+    fs = kernel.fs
+    fs.mkdir("/home/u/code", parents=True)
+    fs.mkdir("/home/u/thesis", parents=True)
+    fs.mkdir("/bin", parents=True)
+    fs.create("/bin/vi", size=40_000)
+    fs.create("/bin/cc", size=60_000)
+    for name in ("main.c", "parser.c", "defs.h"):
+        fs.create(f"/home/u/code/{name}", size=3_000)
+    for name in ("thesis.tex", "biblio.bib"):
+        fs.create(f"/home/u/thesis/{name}", size=8_000)
+
+
+def work_on_code(kernel, shell):
+    """An edit/compile burst: the shape SEER learns from."""
+    editor = kernel.spawn(shell, "/bin/vi")
+    fd = kernel.open(editor, "/home/u/code/main.c", write=True)
+    kernel.close(editor, fd)
+    kernel.exit(editor)
+    compiler = kernel.spawn(shell, "/bin/cc")
+    for name in ("main.c", "parser.c", "defs.h"):
+        fd = kernel.open(compiler, f"/home/u/code/{name}")
+        kernel.close(compiler, fd)
+    kernel.exit(compiler)
+    kernel.clock.advance(300)
+
+
+def work_on_thesis(kernel, shell):
+    editor = kernel.spawn(shell, "/bin/vi")
+    for name in ("thesis.tex", "biblio.bib"):
+        fd = kernel.open(editor, f"/home/u/thesis/{name}")
+        kernel.close(editor, fd)
+    kernel.exit(editor)
+    kernel.clock.advance(300)
+
+
+def main():
+    kernel = Kernel()
+    build_world(kernel)
+    # The frequent-file minimum is lowered so this short demo exercises
+    # the 1 % rule; real deployments keep the default.
+    seer = Seer(kernel, parameters=SeerParameters(
+        frequent_file_minimum_accesses=10_000))
+    shell = kernel.processes.spawn(ppid=1, program="sh", uid=1000,
+                                   cwd="/home/u")
+
+    for _ in range(25):
+        work_on_code(kernel, shell)
+    for _ in range(25):
+        work_on_thesis(kernel, shell)
+
+    clusters = seer.build_clusters()
+    print("SEER inferred these projects:")
+    for cluster_id in clusters.cluster_ids():
+        members = sorted(clusters.members(cluster_id))
+        if len(members) > 1:
+            print(f"  project {cluster_id}: {members}")
+
+    print()
+    budget = 100_000
+    selection = seer.build_hoard(budget=budget)
+    print(f"Hoard within {budget:,} bytes "
+          f"({selection.total_bytes:,} used):")
+    for path in sorted(selection.files):
+        print(f"  {path}")
+    print()
+    print("The thesis (most recent project) is hoarded whole; whatever "
+          "else fits follows.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,10 @@
+"""Setup shim for legacy editable installs (offline environments).
+
+The environment this repo targets may lack the ``wheel`` package, which
+PEP 660 editable installs require; ``pip install -e . --no-use-pep517``
+falls back to this file.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,60 @@
+"""repro: a reproduction of SEER, the automated hoarding system.
+
+Kuenning & Popek, "Automated Hoarding for Mobile Computers", SOSP 1997.
+
+The public API re-exports the pieces a downstream user needs:
+
+* :class:`~repro.core.seer.Seer` -- the hoarding system itself;
+* :class:`~repro.kernel.syscalls.Kernel` and
+  :class:`~repro.fs.filesystem.FileSystem` -- the simulated substrate;
+* the workload generator (:mod:`repro.workload`) and the simulation
+  harness (:mod:`repro.simulation`) used to reproduce the paper's
+  evaluation.
+
+Quick start::
+
+    from repro import Kernel, Seer
+
+    kernel = Kernel()
+    seer = Seer(kernel)
+    # ... drive syscalls through the kernel ...
+    hoard = seer.build_hoard(budget=50 * 1024 * 1024)
+"""
+
+from repro.core import (
+    DEFAULT_PARAMETERS,
+    ClusterSet,
+    Correlator,
+    HoardSelection,
+    MissSeverity,
+    Relation,
+    Seer,
+    SeerParameters,
+)
+from repro.fs import FileKind, FileSystem
+from repro.kernel import Kernel, VirtualClock
+from repro.observer import ControlConfig, MeaninglessStrategy, Observer
+from repro.tracing import Operation, TraceRecord
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "ClusterSet",
+    "ControlConfig",
+    "Correlator",
+    "DEFAULT_PARAMETERS",
+    "FileKind",
+    "FileSystem",
+    "HoardSelection",
+    "Kernel",
+    "MeaninglessStrategy",
+    "MissSeverity",
+    "Observer",
+    "Operation",
+    "Relation",
+    "Seer",
+    "SeerParameters",
+    "TraceRecord",
+    "VirtualClock",
+    "__version__",
+]

@@ -1,0 +1,21 @@
+"""Rendering the paper's tables and figures from simulation results."""
+
+from repro.analysis.figures import render_figure2, render_figure3
+from repro.analysis.report import ReproductionReport, run_reproduction
+from repro.analysis.tables import (
+    render_table1,
+    render_table3,
+    render_table4,
+    render_table5,
+)
+
+__all__ = [
+    "ReproductionReport",
+    "render_figure2",
+    "render_figure3",
+    "render_table1",
+    "render_table3",
+    "render_table4",
+    "render_table5",
+    "run_reproduction",
+]

@@ -1,0 +1,107 @@
+"""Machine-readable result export (JSON and CSV).
+
+The text renderers in :mod:`repro.analysis.tables` mirror the paper's
+layout; downstream analysis wants structured data instead.  These
+functions flatten simulation results into plain dictionaries and write
+them as JSON documents or CSV tables.
+"""
+
+from __future__ import annotations
+
+import csv
+import io
+import json
+from typing import Dict, List, Sequence
+
+from repro.core.hoard import MissSeverity
+from repro.simulation.live import LiveResult
+from repro.simulation.missfree import MissFreeResult
+
+MB = 1024 * 1024
+
+
+def missfree_rows(results: Sequence[MissFreeResult]) -> List[Dict]:
+    """One row per simulated window."""
+    rows: List[Dict] = []
+    for result in results:
+        for window in result.windows:
+            rows.append({
+                "machine": result.machine,
+                "window_seconds": result.window_seconds,
+                "investigators": result.use_investigators,
+                "seed": result.seed,
+                "window_index": window.index,
+                "referenced_files": window.referenced_files,
+                "working_set_bytes": window.working_set_bytes,
+                "seer_bytes": window.seer_bytes,
+                "lru_bytes": window.lru_bytes,
+                "spy_bytes": window.spy_bytes,
+                "uncoverable_files": window.uncoverable_files,
+            })
+    return rows
+
+
+def missfree_summary(results: Sequence[MissFreeResult]) -> List[Dict]:
+    """One row per (machine, window, investigators, seed)."""
+    return [{
+        "machine": result.machine,
+        "window_seconds": result.window_seconds,
+        "investigators": result.use_investigators,
+        "seed": result.seed,
+        "windows": len(result.windows),
+        "mean_working_set_mb": result.mean_working_set / MB,
+        "mean_seer_mb": result.mean_seer / MB,
+        "mean_lru_mb": result.mean_lru / MB,
+        "lru_to_seer_ratio": result.lru_to_seer_ratio,
+    } for result in results]
+
+
+def live_rows(results: Sequence[LiveResult]) -> List[Dict]:
+    """One row per machine: the Tables 3+4 content, flattened."""
+    rows: List[Dict] = []
+    for result in results:
+        stats = result.disconnection_statistics()
+        row = {
+            "machine": result.machine,
+            "hoard_budget_bytes": result.hoard_budget,
+            "disconnections": stats.count,
+            "total_hours": stats.total,
+            "mean_hours": stats.mean,
+            "median_hours": stats.median,
+            "std_hours": stats.std,
+            "max_hours": stats.maximum,
+            "failed_any_severity": result.failures_any_severity(),
+            "automatic_detections": result.automatic_detections(),
+        }
+        for severity in MissSeverity:
+            row[f"failures_severity_{severity.value}"] = \
+                result.failures_at_severity(severity)
+        rows.append(row)
+    return rows
+
+
+def to_json(rows: Sequence[Dict]) -> str:
+    return json.dumps(list(rows), indent=2, sort_keys=True)
+
+
+def to_csv(rows: Sequence[Dict]) -> str:
+    """Render *rows* as CSV with a stable, sorted header."""
+    if not rows:
+        return ""
+    fieldnames = sorted({key for row in rows for key in row})
+    buffer = io.StringIO()
+    writer = csv.DictWriter(buffer, fieldnames=fieldnames)
+    writer.writeheader()
+    for row in rows:
+        writer.writerow(row)
+    return buffer.getvalue()
+
+
+def write_json(rows: Sequence[Dict], path: str) -> None:
+    with open(path, "w", encoding="utf-8") as stream:
+        stream.write(to_json(rows) + "\n")
+
+
+def write_csv(rows: Sequence[Dict], path: str) -> None:
+    with open(path, "w", encoding="utf-8", newline="") as stream:
+        stream.write(to_csv(rows))

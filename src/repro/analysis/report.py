@@ -1,0 +1,125 @@
+"""One-call reproduction report.
+
+:func:`run_reproduction` executes the whole evaluation -- miss-free
+simulations (daily/weekly, with investigators where the paper used
+them) and live-usage simulations for a chosen set of machines -- and
+renders everything into a single text report with Tables 3-5 and
+Figures 2-3, plus the headline comparisons.  This is what
+``examples/full_reproduction.py`` and downstream users call.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+from repro.analysis.figures import render_figure2, render_figure3
+from repro.analysis.tables import (
+    render_table1,
+    render_table3,
+    render_table4,
+    render_table5,
+)
+from repro.simulation.live import LiveResult, simulate_live_usage
+from repro.simulation.missfree import MissFreeResult, simulate_miss_free
+from repro.workload import generate_machine_trace, machine_profile
+
+DAY = 86400.0
+WEEK = 7 * DAY
+MB = 1024 * 1024
+
+
+@dataclass
+class ReproductionReport:
+    """All results of one reproduction run."""
+
+    machines: List[str]
+    days: float
+    seed: int
+    missfree: List[MissFreeResult] = field(default_factory=list)
+    live: List[LiveResult] = field(default_factory=list)
+    elapsed_seconds: float = 0.0
+
+    # ------------------------------------------------------------------
+    # headline numbers
+    # ------------------------------------------------------------------
+    def lru_to_seer_ratios(self) -> Dict[str, float]:
+        ratios: Dict[str, float] = {}
+        for result in self.missfree:
+            if result.windows and not result.use_investigators:
+                key = f"{result.machine}-" + (
+                    "daily" if result.window_seconds <= 2 * DAY else "weekly")
+                ratios[key] = result.lru_to_seer_ratio
+        return ratios
+
+    def seer_overheads(self) -> Dict[str, float]:
+        overheads: Dict[str, float] = {}
+        for result in self.missfree:
+            if result.windows and not result.use_investigators and \
+                    result.mean_working_set:
+                key = f"{result.machine}-" + (
+                    "daily" if result.window_seconds <= 2 * DAY else "weekly")
+                overheads[key] = result.mean_seer / result.mean_working_set
+        return overheads
+
+    # ------------------------------------------------------------------
+    # rendering
+    # ------------------------------------------------------------------
+    def render(self) -> str:
+        ratios = self.lru_to_seer_ratios()
+        overheads = self.seer_overheads()
+        lines = [
+            "SEER reproduction report",
+            "=" * 60,
+            f"machines: {', '.join(self.machines)}   "
+            f"days: {self.days:g}   seed: {self.seed}   "
+            f"elapsed: {self.elapsed_seconds:.0f}s",
+            "",
+            "Headline (paper: SEER slightly above the working set; LRU",
+            "worse by factors that can exceed 10:1):",
+        ]
+        for key in sorted(ratios):
+            lines.append(f"  {key:<12} SEER/WS = {overheads.get(key, 0):.2f}x"
+                         f"   LRU/SEER = {ratios[key]:.1f}x")
+        lines += ["", render_table1(), ""]
+        if self.live:
+            lines += [render_table3(self.live), "",
+                      render_table4(self.live), "",
+                      render_table5(self.live), ""]
+        if self.missfree:
+            lines += [render_figure2(self.missfree, show_ci=False), ""]
+            weekly_f = [r for r in self.missfree
+                        if r.window_seconds > 2 * DAY and
+                        not r.use_investigators]
+            if weekly_f:
+                busiest = max(weekly_f,
+                              key=lambda r: sum(w.referenced_files
+                                                for w in r.windows))
+                lines += [render_figure3(busiest), ""]
+        return "\n".join(lines)
+
+
+def run_reproduction(machines: Sequence[str] = ("C", "D", "F"),
+                     days: float = 28.0, seed: int = 1,
+                     include_live: bool = True,
+                     include_investigators: bool = True,
+                     progress=None) -> ReproductionReport:
+    """Run the evaluation for *machines* and return the report."""
+    report = ReproductionReport(machines=list(machines), days=days, seed=seed)
+    start = time.time()
+    for name in machines:
+        profile = machine_profile(name)
+        if progress is not None:
+            progress(f"machine {name}: generating {days:g} days...")
+        trace = generate_machine_trace(profile, seed=seed, days=days)
+        for window in (DAY, WEEK):
+            report.missfree.append(simulate_miss_free(trace, window))
+        if include_investigators and profile.uses_investigators:
+            for window in (DAY, WEEK):
+                report.missfree.append(simulate_miss_free(
+                    trace, window, use_investigators=True))
+        if include_live:
+            report.live.append(simulate_live_usage(trace))
+    report.elapsed_seconds = time.time() - start
+    return report

@@ -1,0 +1,97 @@
+"""Text renderings of the paper's tables.
+
+Each function takes the corresponding simulation results and prints the
+same rows the paper reports, so a benchmark run can be compared against
+the published tables side by side.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Mapping, Optional, Sequence
+
+from repro.core.hoard import MissSeverity
+from repro.simulation.live import LiveResult
+from repro.simulation.stats import summarize
+
+MB = 1024 * 1024
+
+
+def render_table1() -> str:
+    """Table 1: the clustering decision rules (static)."""
+    return "\n".join([
+        "Table 1: Summary of clustering algorithm (x = shared neighbors)",
+        "  kn <= x       Clusters combined into one",
+        "  kf <= x < kn  Files inserted, but clusters not combined",
+        "  x < kf        No action",
+    ])
+
+
+def render_table3(results: Sequence[LiveResult]) -> str:
+    """Table 3: disconnection statistics per user."""
+    lines = [
+        "Table 3: Disconnection statistics",
+        f"{'User':<5}{'Disc.':>6}{'Total(h)':>10}{'Mean':>8}{'Median':>8}"
+        f"{'Std':>8}{'Max':>8}",
+    ]
+    for result in results:
+        stats = result.disconnection_statistics()
+        lines.append(
+            f"{result.machine:<5}{stats.count:>6}{stats.total:>10.0f}"
+            f"{stats.mean:>8.2f}{stats.median:>8.2f}{stats.std:>8.2f}"
+            f"{stats.maximum:>8.2f}")
+    return "\n".join(lines)
+
+
+def render_table4(results: Sequence[LiveResult]) -> str:
+    """Table 4: failed disconnections at each severity.
+
+    All-zero rows are omitted, as in the paper.
+    """
+    lines = [
+        "Table 4: Summary of failed disconnections at various severities",
+        f"{'User':<5}{'Hoard(MB)':>10}" +
+        "".join(f"{s.value:>5}" for s in MissSeverity) +
+        f"{'AnySev':>8}{'Auto':>6}",
+    ]
+    for result in results:
+        per_severity = [result.failures_at_severity(s) for s in MissSeverity]
+        any_sev = result.failures_any_severity()
+        auto = result.automatic_detections()
+        if not any(per_severity) and not auto:
+            continue
+        lines.append(
+            f"{result.machine:<5}{result.hoard_budget / MB:>10.2f}" +
+            "".join(f"{count:>5}" for count in per_severity) +
+            f"{any_sev:>8}{auto:>6}")
+    if len(lines) == 2:
+        lines.append("(no failed disconnections)")
+    return "\n".join(lines)
+
+
+def render_table5(results: Sequence[LiveResult]) -> str:
+    """Table 5: hours until first miss for failed disconnections.
+
+    Rows with zero misses are omitted; the median is omitted when there
+    are fewer than 4 samples, exactly as the paper formats it.
+    """
+    lines = [
+        "Table 5: Hours until first miss for failed disconnections",
+        f"{'User':<5}{'Sev.':<6}{'Mean':>8}{'Median':>8}{'Std':>8}"
+        f"{'Min':>8}{'Max':>8}",
+    ]
+    for result in results:
+        rows: List = [(str(s.value), result.first_miss_hours(severity=s))
+                      for s in MissSeverity]
+        rows.append(("Auto", result.first_miss_hours(automatic=True)))
+        for label, values in rows:
+            if not values:
+                continue
+            stats = summarize(values)
+            median = f"{stats.median:>8.2f}" if stats.count >= 4 else f"{'--':>8}"
+            std = f"{stats.std:>8.2f}" if stats.count >= 2 else f"{'--':>8}"
+            lines.append(
+                f"{result.machine:<5}{label:<6}{stats.mean:>8.2f}{median}"
+                f"{std}{stats.minimum:>8.2f}{stats.maximum:>8.2f}")
+    if len(lines) == 2:
+        lines.append("(no misses)")
+    return "\n".join(lines)

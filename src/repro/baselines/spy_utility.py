@@ -1,0 +1,168 @@
+"""SPY UTILITY: Tait et al.'s hoarding system (paper section 6.3).
+
+"To date, the only other attempt to automate the hoarding process is
+Tait et al.'s SPY UTILITY.  Like SEER, this system tracks process
+execution trees and infers the contents of projects based on file
+accesses.  It differs in that it restricts itself to loading unions of
+access trees, rather than attempting to create project clusters at a
+higher semantic level."
+
+This module implements that mechanism as a comparison baseline:
+
+* every process-execution tree (a root command and all its
+  descendants) accumulates the set of files it accessed;
+* trees are keyed by their root program, and repeated executions of
+  the same program merge their access sets (the "union of access
+  trees");
+* hoarding loads the most recently exercised trees, whole, until the
+  budget is reached.
+
+There is no semantic-distance layer, no overlap, and no
+multidimensional external information -- the limitations the paper
+calls out.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Iterable, List, Mapping, Optional, Set, Tuple
+
+SizeFunction = Callable[[str], int]
+
+
+@dataclass
+class AccessTree:
+    """The accumulated access set of one root command."""
+
+    root_program: str
+    files: Set[str] = field(default_factory=set)
+    last_exercised: int = 0
+    executions: int = 0
+
+
+class SpyUtilityManager:
+    """Union-of-access-trees hoarding.
+
+    Feed it the same classified reference stream the correlator gets:
+    ``on_fork``/``on_exec``/``on_access``/``on_exit``.  Each *tree* is
+    rooted at a process whose parent is not itself tracked (i.e. a
+    command launched from a shell); descendants contribute their
+    accesses to the root's tree.
+    """
+
+    def __init__(self, shells: Optional[Set[str]] = None) -> None:
+        # Programs treated as interactive shells: their children root
+        # new trees rather than extending a shell-wide mega-tree.
+        self.shells = shells if shells is not None else {"sh", "bash", "csh",
+                                                         "init", ""}
+        self._trees: Dict[str, AccessTree] = {}
+        self._root_of_pid: Dict[int, Optional[str]] = {}
+        self._program_of_pid: Dict[int, str] = {}
+        self._clock = 0
+
+    # ------------------------------------------------------------------
+    # reference feed
+    # ------------------------------------------------------------------
+    def on_fork(self, pid: int, ppid: int, program: str = "") -> None:
+        """A child joins its parent's tree (if the parent has one)."""
+        self._program_of_pid[pid] = program or self._program_of_pid.get(ppid, "")
+        self._root_of_pid[pid] = self._root_of_pid.get(ppid)
+
+    def on_exec(self, pid: int, program_path: str) -> None:
+        """An exec either roots a new tree or continues the parent's."""
+        self._clock += 1
+        program = program_path.rsplit("/", 1)[-1]
+        self._program_of_pid[pid] = program
+        if self._root_of_pid.get(pid) is None:
+            # Launched from a shell: this command roots a tree.
+            if program not in self.shells:
+                tree = self._tree(program)
+                tree.executions += 1
+                tree.last_exercised = self._clock
+                tree.files.add(program_path)
+                self._root_of_pid[pid] = program
+        else:
+            root = self._root_of_pid[pid]
+            if root is not None:
+                tree = self._tree(root)
+                tree.files.add(program_path)
+                tree.last_exercised = self._clock
+
+    def on_access(self, pid: int, path: str) -> None:
+        """A file access lands in the process's tree, if any."""
+        self._clock += 1
+        root = self._root_of_pid.get(pid)
+        if root is None:
+            program = self._program_of_pid.get(pid, "")
+            if program in self.shells:
+                return   # raw shell accesses belong to no project tree
+            # An untracked non-shell process: root a tree for it.
+            self._root_of_pid[pid] = root = program
+            self._tree(root).executions += 1
+        tree = self._tree(root)
+        tree.files.add(path)
+        tree.last_exercised = self._clock
+
+    def on_exit(self, pid: int) -> None:
+        self._root_of_pid.pop(pid, None)
+        self._program_of_pid.pop(pid, None)
+
+    def _tree(self, root: str) -> AccessTree:
+        tree = self._trees.get(root)
+        if tree is None:
+            tree = AccessTree(root_program=root)
+            self._trees[root] = tree
+        return tree
+
+    # ------------------------------------------------------------------
+    # inspection
+    # ------------------------------------------------------------------
+    def trees(self) -> List[AccessTree]:
+        return list(self._trees.values())
+
+    def tree_for(self, root: str) -> Optional[AccessTree]:
+        return self._trees.get(root)
+
+    def ranked_trees(self) -> List[AccessTree]:
+        """Most recently exercised trees first."""
+        return sorted(self._trees.values(),
+                      key=lambda tree: (-tree.last_exercised,
+                                        tree.root_program))
+
+    # ------------------------------------------------------------------
+    # hoarding
+    # ------------------------------------------------------------------
+    def build(self, sizes: SizeFunction, budget: int,
+              always_hoard: Iterable[str] = ()) -> Set[str]:
+        """Load whole access trees, most recent first, within budget."""
+        hoard: Set[str] = set()
+        total = 0
+        for path in sorted(set(always_hoard)):
+            hoard.add(path)
+            total += sizes(path)
+        for tree in self.ranked_trees():
+            new_files = sorted(tree.files - hoard)
+            added = sum(sizes(path) for path in new_files)
+            if total + added <= budget:
+                hoard.update(new_files)
+                total += added
+        return hoard
+
+    def miss_free_size(self, needed: Set[str],
+                       sizes: SizeFunction) -> Tuple[int, Set[str]]:
+        """The section 5.1.2 recipe generalized to tree ranking."""
+        covered: Set[str] = set()
+        total = 0
+        known: Set[str] = set()
+        for tree in self._trees.values():
+            known |= tree.files
+        uncoverable = needed - known
+        remaining = needed - uncoverable
+        for tree in self.ranked_trees():
+            if not remaining:
+                break
+            new_files = tree.files - covered
+            total += sum(sizes(path) for path in sorted(new_files))
+            covered |= new_files
+            remaining -= tree.files
+        return total, uncoverable

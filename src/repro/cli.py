@@ -1,0 +1,224 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Subcommands:
+
+``generate``   synthesize a machine's trace and write it to a file
+``stats``      summarize a saved trace
+``missfree``   run the Figure 2/3 miss-free hoard-size simulation
+``live``       run the Tables 3-5 live-usage simulation
+``figure2``    run the multi-machine study and render Figure 2
+``sweep``      sweep one SEER parameter and report the objective
+
+All simulation commands accept a machine name (A-I); ``generate`` can
+persist the trace for later ``stats`` inspection.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from repro.analysis import (
+    run_reproduction,
+    render_figure2,
+    render_figure3,
+    render_table3,
+    render_table4,
+    render_table5,
+)
+from repro.simulation import SIM_PARAMETERS
+from repro.simulation.live import simulate_live_usage
+from repro.simulation.missfree import simulate_miss_free
+from repro.tracing import read_trace_file, summarize_trace, write_trace_file
+from repro.tuning import sweep_parameter
+from repro.workload import MACHINES, generate_machine_trace, machine_profile
+
+DAY = 86400.0
+WEEK = 7 * DAY
+MB = 1024 * 1024
+
+
+def _add_machine_arguments(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("machine", choices=sorted(MACHINES),
+                        help="machine profile (paper Table 3)")
+    parser.add_argument("--days", type=float, default=28.0,
+                        help="simulated deployment length (default 28)")
+    parser.add_argument("--seed", type=int, default=1)
+
+
+def _trace_for(args):
+    return generate_machine_trace(machine_profile(args.machine),
+                                  seed=args.seed, days=args.days)
+
+
+def cmd_generate(args) -> int:
+    trace = _trace_for(args)
+    count = write_trace_file(trace.records, args.output)
+    print(f"wrote {count:,} records for machine {args.machine} "
+          f"to {args.output}")
+    return 0
+
+
+def cmd_stats(args) -> int:
+    records = read_trace_file(args.trace)
+    print(summarize_trace(records).format())
+    return 0
+
+
+def cmd_missfree(args) -> int:
+    trace = _trace_for(args)
+    window = WEEK if args.weekly else DAY
+    result = simulate_miss_free(trace, window,
+                                use_investigators=args.investigators,
+                                include_spy=args.spy)
+    label = "weekly" if args.weekly else "daily"
+    print(f"machine {args.machine}, {label} disconnections, "
+          f"{len(result.windows)} windows:")
+    print(f"  working set : {result.mean_working_set / MB:7.2f} MB")
+    print(f"  SEER        : {result.mean_seer / MB:7.2f} MB")
+    if args.spy:
+        print(f"  SPY UTILITY : {result.mean_spy / MB:7.2f} MB")
+    print(f"  LRU         : {result.mean_lru / MB:7.2f} MB  "
+          f"({result.lru_to_seer_ratio:.1f}x SEER)")
+    if args.figure3:
+        print()
+        print(render_figure3(result))
+    return 0
+
+
+def cmd_live(args) -> int:
+    trace = _trace_for(args)
+    result = simulate_live_usage(trace)
+    print(render_table3([result]))
+    print()
+    print(render_table4([result]))
+    print()
+    print(render_table5([result]))
+    return 0
+
+
+def cmd_figure2(args) -> int:
+    results = []
+    for name in args.machines:
+        profile = machine_profile(name)
+        print(f"simulating machine {name}...", file=sys.stderr)
+        trace = generate_machine_trace(profile, seed=args.seed,
+                                       days=args.days)
+        for window in (DAY, WEEK):
+            results.append(simulate_miss_free(trace, window))
+        if profile.uses_investigators and args.investigators:
+            for window in (DAY, WEEK):
+                results.append(simulate_miss_free(trace, window,
+                                                  use_investigators=True))
+    print(render_figure2(results, show_ci=False))
+    return 0
+
+
+def cmd_report(args) -> int:
+    report = run_reproduction(machines=args.machines, days=args.days,
+                              seed=args.seed,
+                              progress=lambda msg: print(msg, file=sys.stderr))
+    print(report.render())
+    if args.json:
+        from repro.analysis.export import live_rows, missfree_summary, write_json
+        write_json(missfree_summary(report.missfree) + live_rows(report.live),
+                   args.json)
+        print(f"(wrote {args.json})", file=sys.stderr)
+    if args.csv:
+        from repro.analysis.export import missfree_rows, write_csv
+        write_csv(missfree_rows(report.missfree), args.csv)
+        print(f"(wrote {args.csv})", file=sys.stderr)
+    return 0
+
+
+def cmd_sweep(args) -> int:
+    trace = _trace_for(args)
+    values = [_coerce(v) for v in args.values]
+    points = sweep_parameter(SIM_PARAMETERS, args.parameter, values, [trace])
+    print(f"sweep of {args.parameter} on machine {args.machine} "
+          f"(objective: mean hoard overhead, lower is better)")
+    for point in points:
+        print(f"  {args.parameter}={point.value}: "
+              f"{point.result.score:.3f}")
+    if points:
+        best = min(points, key=lambda p: p.result.score)
+        print(f"best: {args.parameter}={best.value}")
+    return 0
+
+
+def _coerce(text: str):
+    for conv in (int, float):
+        try:
+            return conv(text)
+        except ValueError:
+            continue
+    return text
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="SEER (SOSP '97) reproduction harness")
+    commands = parser.add_subparsers(dest="command", required=True)
+
+    generate = commands.add_parser("generate", help="synthesize a trace")
+    _add_machine_arguments(generate)
+    generate.add_argument("--output", "-o", required=True)
+    generate.set_defaults(handler=cmd_generate)
+
+    stats = commands.add_parser("stats", help="summarize a saved trace")
+    stats.add_argument("trace")
+    stats.set_defaults(handler=cmd_stats)
+
+    missfree = commands.add_parser("missfree",
+                                   help="miss-free hoard-size simulation")
+    _add_machine_arguments(missfree)
+    missfree.add_argument("--weekly", action="store_true",
+                          help="7-day windows instead of 24-hour")
+    missfree.add_argument("--investigators", action="store_true")
+    missfree.add_argument("--spy", action="store_true",
+                          help="include the SPY UTILITY baseline")
+    missfree.add_argument("--figure3", action="store_true",
+                          help="render the per-window series")
+    missfree.set_defaults(handler=cmd_missfree)
+
+    live = commands.add_parser("live", help="live-usage simulation")
+    _add_machine_arguments(live)
+    live.set_defaults(handler=cmd_live)
+
+    figure2 = commands.add_parser("figure2", help="multi-machine Figure 2")
+    figure2.add_argument("--machines", nargs="+", default=["C", "D", "F"],
+                         choices=sorted(MACHINES))
+    figure2.add_argument("--days", type=float, default=28.0)
+    figure2.add_argument("--seed", type=int, default=1)
+    figure2.add_argument("--investigators", action="store_true")
+    figure2.set_defaults(handler=cmd_figure2)
+
+    report = commands.add_parser("report",
+                                 help="full reproduction report")
+    report.add_argument("--machines", nargs="+", default=["C", "D", "F"],
+                        choices=sorted(MACHINES))
+    report.add_argument("--days", type=float, default=28.0)
+    report.add_argument("--seed", type=int, default=1)
+    report.add_argument("--json", help="also export summary rows as JSON")
+    report.add_argument("--csv", help="also export per-window rows as CSV")
+    report.set_defaults(handler=cmd_report)
+
+    sweep = commands.add_parser("sweep", help="sweep one SEER parameter")
+    _add_machine_arguments(sweep)
+    sweep.add_argument("--parameter", required=True)
+    sweep.add_argument("--values", nargs="+", required=True)
+    sweep.set_defaults(handler=cmd_sweep)
+
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.handler(args)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

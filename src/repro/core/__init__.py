@@ -1,0 +1,65 @@
+"""SEER's core: semantic distance, clustering, hoard selection.
+
+This package implements the paper's primary contribution (sections 3
+and parts of 4): the three semantic-distance definitions, the online
+geometric-mean data reduction, the bounded neighbor tables, the
+per-process correlator, the modified Jarvis-Patrick shared-neighbor
+clustering with external-information adjustment, and the
+whole-projects-only hoard manager with miss accounting.
+"""
+
+from repro.core.clustering import (
+    ClusterSet,
+    Relation,
+    SharedNeighborClustering,
+    cluster_neighbor_store,
+)
+from repro.core.correlator import Action, Correlator, ObservedReference
+from repro.core.distance import (
+    DistanceSummary,
+    LifetimeDistanceCalculator,
+    RefKind,
+    Reference,
+    SequenceDistanceCalculator,
+    opens,
+    temporal_distances,
+)
+from repro.core.hoard import (
+    HoardManager,
+    HoardMiss,
+    HoardSelection,
+    MissLog,
+    MissSeverity,
+    rank_clusters,
+)
+from repro.core.neighbors import NeighborStore, NeighborTable
+from repro.core.parameters import DEFAULT_PARAMETERS, SeerParameters
+from repro.core.seer import Seer
+
+__all__ = [
+    "Action",
+    "ClusterSet",
+    "Correlator",
+    "DEFAULT_PARAMETERS",
+    "DistanceSummary",
+    "HoardManager",
+    "HoardMiss",
+    "HoardSelection",
+    "LifetimeDistanceCalculator",
+    "MissLog",
+    "MissSeverity",
+    "NeighborStore",
+    "NeighborTable",
+    "ObservedReference",
+    "RefKind",
+    "Reference",
+    "Relation",
+    "Seer",
+    "SeerParameters",
+    "SequenceDistanceCalculator",
+    "SharedNeighborClustering",
+    "cluster_neighbor_store",
+    "opens",
+    "rank_clusters",
+    "temporal_distances",
+]

@@ -1,0 +1,297 @@
+"""The correlator: from observed references to file relationships.
+
+The observer feeds classified, absolutized references here.  The
+correlator (paper section 2) maintains:
+
+* one lifetime-distance calculator per process, inherited at fork and
+  merged back at exit (section 4.7);
+* the bounded per-file neighbor tables (section 3.1.3);
+* non-open reference semantics -- exec/exit as open/close, attribute
+  examinations as point references with the examine-then-open elision,
+  deletions delayed by a count of total deletions, renames carrying
+  identity (section 4.8);
+* recency bookkeeping used by hoard ranking and by the LRU baseline.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+from repro.core.clustering import ClusterSet, Relation, SharedNeighborClustering
+from repro.core.distance import LifetimeDistanceCalculator
+from repro.core.neighbors import NeighborStore
+from repro.core.parameters import DEFAULT_PARAMETERS, SeerParameters
+from repro.fs.paths import directory_distance
+
+
+class Action(enum.Enum):
+    """Classified reference kinds the observer emits."""
+
+    OPEN = "open"
+    CLOSE = "close"
+    POINT = "point"   # an open immediately followed by a close
+    STAT = "stat"     # attribute examination: deferred point reference
+    EXEC = "exec"     # program image opened for the process lifetime
+    EXIT = "exit"
+    DELETE = "delete"
+    RENAME = "rename"
+    FORK = "fork"
+
+
+@dataclass(frozen=True)
+class ObservedReference:
+    """One classified reference delivered by the observer."""
+
+    seq: int
+    time: float
+    pid: int
+    action: Action
+    path: str = ""
+    path2: str = ""
+    ppid: int = 0
+
+
+@dataclass
+class _ProcessStream:
+    """Per-process reference history (section 4.7)."""
+
+    pid: int
+    ppid: int
+    calculator: LifetimeDistanceCalculator
+    fork_base: int = 0            # calculator counter at fork time
+    exec_image: Optional[str] = None
+    pending_stat: Optional[str] = None
+
+
+@dataclass
+class _PendingDeletion:
+    path: str
+    deletion_number: int
+
+
+class Correlator:
+    """Consumes :class:`ObservedReference` events, maintains relationships."""
+
+    def __init__(self, parameters: SeerParameters = DEFAULT_PARAMETERS,
+                 seed: int = 0) -> None:
+        self._parameters = parameters
+        self.store = NeighborStore(parameters, seed=seed)
+        self._streams: Dict[int, _ProcessStream] = {}
+        self._recency: Dict[str, int] = {}
+        self._recency_time: Dict[str, float] = {}
+        self._reference_counter = 0
+        self._deletion_counter = 0
+        self._pending_deletions: List[_PendingDeletion] = []
+        self.references_processed = 0
+
+    # ------------------------------------------------------------------
+    # public read API
+    # ------------------------------------------------------------------
+    @property
+    def parameters(self) -> SeerParameters:
+        return self._parameters
+
+    def known_files(self) -> Set[str]:
+        """Files with relationship state or recorded recency."""
+        return set(self._recency) | set(self.store.files())
+
+    def recency(self) -> Dict[str, int]:
+        """Last reference sequence number per file (larger = newer)."""
+        return dict(self._recency)
+
+    def recency_times(self) -> Dict[str, float]:
+        """Last reference wall-clock time per file."""
+        return dict(self._recency_time)
+
+    def last_reference(self, path: str) -> Optional[int]:
+        return self._recency.get(path)
+
+    def build_clusters(self, relations: Sequence[Relation] = (),
+                       use_directory_distance: bool = True,
+                       exclude: Optional[Set[str]] = None) -> ClusterSet:
+        """Run the clustering algorithm over the current neighbor tables.
+
+        *exclude* removes files (typically the frequently-referenced
+        set of section 4.2) from every neighbor list before clustering,
+        so a shared library cannot act as a bridge that merges all
+        projects into one giant cluster.
+        """
+        distance_fn = directory_distance if use_directory_distance else None
+        if self._parameters.stale_link_cutoff > 0:
+            neighbor_lists = self.store.neighbor_lists(
+                now=self._reference_counter,
+                stale_after=self._parameters.stale_link_cutoff)
+        else:
+            neighbor_lists = self.store.neighbor_lists()
+        if exclude:
+            neighbor_lists = {
+                file: neighbors - exclude
+                for file, neighbors in neighbor_lists.items()
+                if file not in exclude}
+        algorithm = SharedNeighborClustering(
+            neighbor_lists, parameters=self._parameters,
+            relations=relations, directory_distance=distance_fn)
+        return algorithm.cluster()
+
+    # ------------------------------------------------------------------
+    # event handling
+    # ------------------------------------------------------------------
+    def handle(self, reference: ObservedReference) -> None:
+        """Process one observed reference."""
+        self.references_processed += 1
+        action = reference.action
+        stream = self._stream_for(reference.pid)
+
+        if action is Action.FORK:
+            self._handle_fork(reference)
+            return
+        if action is not Action.OPEN:
+            self._flush_pending_stat(stream)
+
+        if action is Action.OPEN:
+            self._maybe_elide_stat(stream, reference.path)
+            self._record_open(stream, reference)
+        elif action is Action.CLOSE:
+            stream.calculator.close(reference.path)
+        elif action is Action.POINT:
+            self._record_point(stream, reference)
+        elif action is Action.STAT:
+            # Deferred: discarded if immediately followed by an open of
+            # the same file by the same process (section 4.8).
+            self._flush_pending_stat(stream)
+            stream.pending_stat = reference.path
+        elif action is Action.EXEC:
+            self._handle_exec(stream, reference)
+        elif action is Action.EXIT:
+            self._handle_exit(stream, reference)
+        elif action is Action.DELETE:
+            self._handle_delete(stream, reference)
+        elif action is Action.RENAME:
+            self._handle_rename(stream, reference)
+
+    # ------------------------------------------------------------------
+    # per-action logic
+    # ------------------------------------------------------------------
+    def _stream_for(self, pid: int) -> _ProcessStream:
+        stream = self._streams.get(pid)
+        if stream is None:
+            stream = _ProcessStream(
+                pid=pid, ppid=0,
+                calculator=LifetimeDistanceCalculator(
+                    lookback_window=self._parameters.lookback_window))
+            self._streams[pid] = stream
+        return stream
+
+    def _handle_fork(self, reference: ObservedReference) -> None:
+        parent = self._stream_for(reference.ppid) if reference.ppid else None
+        if parent is not None:
+            calculator = parent.calculator.clone()
+        else:
+            calculator = LifetimeDistanceCalculator(
+                lookback_window=self._parameters.lookback_window)
+        self._streams[reference.pid] = _ProcessStream(
+            pid=reference.pid, ppid=reference.ppid, calculator=calculator,
+            fork_base=calculator.opens_processed)
+
+    def _maybe_elide_stat(self, stream: _ProcessStream, path: str) -> None:
+        if stream.pending_stat == path:
+            stream.pending_stat = None        # stat-then-open: discard stat
+        else:
+            self._flush_pending_stat(stream)
+
+    def _flush_pending_stat(self, stream: _ProcessStream) -> None:
+        if stream.pending_stat is not None:
+            path = stream.pending_stat
+            stream.pending_stat = None
+            self._ingest_distances(stream.calculator.point_reference(path))
+            self._touch(path, 0.0)
+
+    def _record_open(self, stream: _ProcessStream, reference: ObservedReference) -> None:
+        self._ingest_distances(stream.calculator.open(reference.path))
+        self._touch(reference.path, reference.time)
+
+    def _record_point(self, stream: _ProcessStream, reference: ObservedReference) -> None:
+        self._ingest_distances(stream.calculator.point_reference(reference.path))
+        self._touch(reference.path, reference.time)
+
+    def _handle_exec(self, stream: _ProcessStream, reference: ObservedReference) -> None:
+        # Executions are treated as opens lasting until exit (sec. 4.8).
+        if stream.exec_image is not None:
+            stream.calculator.close(stream.exec_image)
+        self._ingest_distances(stream.calculator.open(reference.path))
+        self._touch(reference.path, reference.time)
+        stream.exec_image = reference.path
+
+    def _handle_exit(self, stream: _ProcessStream, reference: ObservedReference) -> None:
+        if stream.exec_image is not None:
+            stream.calculator.close(stream.exec_image)
+            stream.exec_image = None
+        parent = self._streams.get(stream.ppid)
+        if parent is not None:
+            parent.calculator.merge_from(stream.calculator, since=stream.fork_base)
+        self._streams.pop(stream.pid, None)
+
+    def _handle_delete(self, stream: _ProcessStream, reference: ObservedReference) -> None:
+        # The deletion itself is a semantically meaningful reference.
+        self._ingest_distances(stream.calculator.point_reference(reference.path))
+        self._touch(reference.path, reference.time)
+        # Removal from internal tables is delayed, measured in total
+        # deletions, so a delete-recreate cycle keeps its history.
+        self._deletion_counter += 1
+        self.store.marked_for_deletion.add(reference.path)
+        self._pending_deletions.append(_PendingDeletion(
+            path=reference.path, deletion_number=self._deletion_counter))
+        self._expire_deletions()
+
+    def _handle_rename(self, stream: _ProcessStream, reference: ObservedReference) -> None:
+        old, new = reference.path, reference.path2
+        # Carry identity first -- in the neighbor store and in every
+        # process stream -- so the reference below lands on the new
+        # name and no stale entry for the old name (often a /tmp file)
+        # lingers to pollute later distances.
+        self.store.rename_file(old, new)
+        for other_stream in self._streams.values():
+            other_stream.calculator.rename(old, new)
+        if old in self._recency:
+            self._recency[new] = self._recency.pop(old)
+            self._recency_time[new] = self._recency_time.pop(old, reference.time)
+        self._ingest_distances(stream.calculator.point_reference(new))
+        self._touch(new, reference.time)
+
+    # ------------------------------------------------------------------
+    # shared helpers
+    # ------------------------------------------------------------------
+    def _touch(self, path: str, time: float) -> None:
+        self._reference_counter += 1
+        self._recency[path] = self._reference_counter
+        self._recency_time[path] = time
+        if path in self.store.marked_for_deletion:
+            # Re-referenced before expiry: the name was reused, keep it.
+            self.store.marked_for_deletion.discard(path)
+            self._pending_deletions = [
+                pending for pending in self._pending_deletions
+                if pending.path != path]
+
+    def _ingest_distances(self, distances: List[Tuple[str, str, int]]) -> None:
+        for from_file, to_file, distance in distances:
+            self.store.observe(from_file, to_file, float(distance),
+                               now=self._reference_counter)
+
+    def _expire_deletions(self) -> None:
+        threshold = self._deletion_counter - self._parameters.delete_delay
+        keep: List[_PendingDeletion] = []
+        for pending in self._pending_deletions:
+            if pending.deletion_number <= threshold:
+                if pending.path in self.store.marked_for_deletion:
+                    self.store.remove_file(pending.path)
+                    self._recency.pop(pending.path, None)
+                    self._recency_time.pop(pending.path, None)
+                    # Purge per-process histories too, or a later open
+                    # would resurrect distances to the dead file.
+                    for stream in self._streams.values():
+                        stream.calculator.forget(pending.path)
+            else:
+                keep.append(pending)
+        self._pending_deletions = keep

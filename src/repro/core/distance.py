@@ -1,0 +1,264 @@
+"""Semantic distance: Definitions 1-3 of the paper (section 3.1.1).
+
+All three published formulations are implemented:
+
+* :func:`temporal_distances` -- Definition 1, elapsed clock time;
+* :class:`SequenceDistanceCalculator` -- Definition 2, intervening
+  references;
+* :class:`LifetimeDistanceCalculator` -- Definition 3, the measure SEER
+  actually uses, based on open/close lifetimes.
+
+All measures are *asymmetric*: the distance from an earlier reference
+to a later one.  The data-reduction step (converting many per-reference
+distances into one per-file-pair summary) is
+:class:`DistanceSummary` / geometric mean, section 3.1.2.
+"""
+
+from __future__ import annotations
+
+import enum
+import math
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, Iterator, List, Optional, Tuple
+
+
+class RefKind(enum.Enum):
+    """Reference event kinds consumed by the distance calculators."""
+
+    OPEN = "open"
+    CLOSE = "close"
+
+
+@dataclass(frozen=True)
+class Reference:
+    """One file-reference event in a single stream."""
+
+    file: str
+    kind: RefKind
+    time: float = 0.0
+
+
+def opens(sequence: Iterable[str]) -> List[Reference]:
+    """Helper: turn a plain file sequence into open+close pairs."""
+    events: List[Reference] = []
+    for name in sequence:
+        events.append(Reference(name, RefKind.OPEN))
+        events.append(Reference(name, RefKind.CLOSE))
+    return events
+
+
+# ----------------------------------------------------------------------
+# Definition 1: temporal semantic distance
+# ----------------------------------------------------------------------
+def temporal_distances(events: Iterable[Reference]) -> Iterator[Tuple[str, str, float]]:
+    """Yield ``(earlier_file, later_file, elapsed_seconds)`` pairs.
+
+    Definition 1: the temporal semantic distance between two file
+    references is the elapsed clock time between them.  Only the
+    closest (most recent) pair per file is reported, matching SEER's
+    convention for repeated references (footnote 1).
+    """
+    last_open: Dict[str, float] = {}
+    for event in events:
+        if event.kind is not RefKind.OPEN:
+            continue
+        for other, when in last_open.items():
+            if other != event.file:
+                yield other, event.file, event.time - when
+        last_open[event.file] = event.time
+
+
+# ----------------------------------------------------------------------
+# Definition 2: sequence-based semantic distance
+# ----------------------------------------------------------------------
+class SequenceDistanceCalculator:
+    """Definition 2: number of intervening references to *other* files.
+
+    Repeated references are **not** elided: in ``A C C C B`` the
+    distance A -> B is 3, the strict interpretation the paper chooses
+    (footnote 1), partly to capture intensive work on a single project.
+    Only the closest pair of references is used per file pair.
+    """
+
+    def __init__(self) -> None:
+        self._position = 0                 # index of the next reference
+        self._last_seen: Dict[str, int] = {}
+
+    def process(self, file: str) -> List[Tuple[str, str, int]]:
+        """Feed one reference; returns new ``(from, to, distance)`` pairs."""
+        results = [
+            (other, file, self._position - seen_at - 1)
+            for other, seen_at in self._last_seen.items()
+            if other != file
+        ]
+        self._last_seen[file] = self._position
+        self._position += 1
+        return results
+
+    def process_all(self, files: Iterable[str]) -> List[Tuple[str, str, int]]:
+        out: List[Tuple[str, str, int]] = []
+        for file in files:
+            out.extend(self.process(file))
+        return out
+
+
+# ----------------------------------------------------------------------
+# Definition 3: lifetime semantic distance
+# ----------------------------------------------------------------------
+class LifetimeDistanceCalculator:
+    """Definition 3: the measure SEER uses.
+
+    The distance from an open of file A to an open of file B is 0 if A
+    has not been closed before B is opened, and the number of
+    intervening file opens (including the open of B) otherwise.
+
+    The calculator processes a single reference stream (one process, in
+    SEER's per-process formulation of section 4.7).  Each call to
+    :meth:`open` reports the distances from previously-opened files to
+    the newly-opened one, using the most recent open of each earlier
+    file (the "closest pair" rule of footnote 1).
+    """
+
+    def __init__(self, lookback_window: Optional[int] = None) -> None:
+        self._open_counter = 0
+        self._open_count: Dict[str, int] = {}       # currently-open fd count
+        self._last_open_index: Dict[str, int] = {}  # most recent open seq
+        self._lookback = lookback_window
+
+    @property
+    def opens_processed(self) -> int:
+        return self._open_counter
+
+    def open(self, file: str) -> List[Tuple[str, str, int]]:
+        """Record an open of *file*; returns ``(from, to, distance)`` pairs."""
+        self._open_counter += 1
+        index = self._open_counter
+        results: List[Tuple[str, str, int]] = []
+        for other, other_index in self._last_open_index.items():
+            if other == file:
+                continue
+            if self._open_count.get(other, 0) > 0:
+                distance = 0
+            else:
+                distance = index - other_index
+                if self._lookback is not None and distance > self._lookback:
+                    continue  # outside the update window (section 3.1.3)
+            results.append((other, file, distance))
+        self._last_open_index[file] = index
+        self._open_count[file] = self._open_count.get(file, 0) + 1
+        return results
+
+    def close(self, file: str) -> None:
+        """Record a close of *file* (tolerates unbalanced closes)."""
+        count = self._open_count.get(file, 0)
+        if count > 0:
+            self._open_count[file] = count - 1
+
+    def point_reference(self, file: str) -> List[Tuple[str, str, int]]:
+        """An open immediately followed by a close (sections 3.1.1, 4.8)."""
+        results = self.open(file)
+        self.close(file)
+        return results
+
+    def is_open(self, file: str) -> bool:
+        return self._open_count.get(file, 0) > 0
+
+    def forget(self, file: str) -> None:
+        """Drop all state about *file* (used after delayed deletion)."""
+        self._open_count.pop(file, None)
+        self._last_open_index.pop(file, None)
+
+    def rename(self, old: str, new: str) -> None:
+        """Re-key a file's stream state across a rename (section 4.8)."""
+        if old == new:
+            return
+        if old in self._open_count:
+            self._open_count[new] = self._open_count.pop(old)
+        if old in self._last_open_index:
+            index = self._last_open_index.pop(old)
+            self._last_open_index[new] = max(
+                index, self._last_open_index.get(new, 0))
+
+    def clone(self) -> "LifetimeDistanceCalculator":
+        """Copy for a forked child, which inherits the parent's history
+        (section 4.7)."""
+        copy = LifetimeDistanceCalculator(lookback_window=self._lookback)
+        copy._open_counter = self._open_counter
+        copy._open_count = dict(self._open_count)
+        copy._last_open_index = dict(self._last_open_index)
+        return copy
+
+    def merge_from(self, child: "LifetimeDistanceCalculator", since: int = 0) -> None:
+        """Absorb a child stream's history on process exit (section 4.7).
+
+        *since* is the child's open counter at fork time; entries at or
+        below it were inherited from the parent and need no merging.
+        The parent's counter advances by the number of opens the child
+        performed, and the child's post-fork opens are mapped onto the
+        parent's timeline at their relative positions.  This lets SEER
+        "detect extended relationships between files referenced by a
+        process and by its parent" while still aging the parent's own
+        older references correctly.  Open counts do not transfer: the
+        kernel drops a dead child's descriptors.
+        """
+        new_opens = max(0, child._open_counter - since)
+        base = self._open_counter
+        self._open_counter = base + new_opens
+        for file, child_index in child._last_open_index.items():
+            if child_index <= since:
+                continue
+            mapped = base + (child_index - since)
+            if mapped > self._last_open_index.get(file, -1):
+                self._last_open_index[file] = mapped
+
+    def process_events(self, events: Iterable[Reference]) -> List[Tuple[str, str, int]]:
+        """Run a whole event stream; convenience for tests and replay."""
+        out: List[Tuple[str, str, int]] = []
+        for event in events:
+            if event.kind is RefKind.OPEN:
+                out.extend(self.open(event.file))
+            else:
+                self.close(event.file)
+        return out
+
+
+# ----------------------------------------------------------------------
+# Data reduction: per-file-pair summaries (section 3.1.2)
+# ----------------------------------------------------------------------
+@dataclass
+class DistanceSummary:
+    """Online summary of the distances observed for one file pair.
+
+    The paper first tried the arithmetic mean and rejected it: three
+    observations of 1, 1, 1498 average to 500, yet indicate a far
+    closer relationship than a constant 500.  The geometric mean gives
+    small values more importance.  Distances of zero are handled by
+    averaging ``log(1 + d)`` and inverting, which preserves ordering
+    and maps all-zero observations to zero.
+    """
+
+    count: int = 0
+    log_sum: float = 0.0
+    linear_sum: float = 0.0
+    last_update: int = 0   # correlator reference counter at last update
+
+    def add(self, distance: float, now: int = 0) -> None:
+        if distance < 0:
+            raise ValueError(f"negative semantic distance: {distance}")
+        self.count += 1
+        self.log_sum += math.log1p(distance)
+        self.linear_sum += distance
+        self.last_update = now
+
+    def geometric_mean(self) -> float:
+        if self.count == 0:
+            return math.inf
+        return math.expm1(self.log_sum / self.count)
+
+    def arithmetic_mean(self) -> float:
+        if self.count == 0:
+            return math.inf
+        return self.linear_sum / self.count
+
+    def mean(self, geometric: bool = True) -> float:
+        return self.geometric_mean() if geometric else self.arithmetic_mean()

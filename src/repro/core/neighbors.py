@@ -1,0 +1,205 @@
+"""Bounded per-file neighbor tables (paper section 3.1.3).
+
+Storing all N^2 pairwise distances is prohibitive, so SEER keeps for
+each file only the distances to its n closest neighbors (n = 20).  When
+a new distance arrives for a full table, a replacement priority is
+applied:
+
+1. highest priority: an entry whose file is marked for deletion;
+2. otherwise the entry with the largest current distance is replaced,
+   ties broken randomly, but only if it is farther than the candidate;
+3. finally, an aging rule lets very old, inactive entries be replaced
+   by newer ones so the table can track changes in user behaviour and
+   shed incorrectly inferred relationships.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, List, Optional, Set, Tuple
+
+from repro.core.distance import DistanceSummary
+from repro.core.parameters import DEFAULT_PARAMETERS, SeerParameters
+
+
+class NeighborTable:
+    """The n-nearest-neighbor list of a single file."""
+
+    def __init__(self, parameters: SeerParameters = DEFAULT_PARAMETERS,
+                 rng: Optional[random.Random] = None) -> None:
+        self._parameters = parameters
+        self._entries: Dict[str, DistanceSummary] = {}
+        self._rng = rng if rng is not None else random.Random(0)
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __contains__(self, neighbor: str) -> bool:
+        return neighbor in self._entries
+
+    def neighbors(self) -> Set[str]:
+        """The set of neighbor file ids currently tracked."""
+        return set(self._entries)
+
+    def summary(self, neighbor: str) -> Optional[DistanceSummary]:
+        return self._entries.get(neighbor)
+
+    def distance_to(self, neighbor: str) -> float:
+        """Current summarized distance to *neighbor* (inf if untracked)."""
+        entry = self._entries.get(neighbor)
+        if entry is None:
+            return float("inf")
+        return entry.mean(geometric=self._parameters.use_geometric_mean)
+
+    def items(self) -> Iterator[Tuple[str, float]]:
+        geometric = self._parameters.use_geometric_mean
+        for neighbor, entry in self._entries.items():
+            yield neighbor, entry.mean(geometric=geometric)
+
+    def nearest(self, count: Optional[int] = None) -> List[Tuple[str, float]]:
+        """Neighbors sorted by increasing distance."""
+        ranked = sorted(self.items(), key=lambda item: (item[1], item[0]))
+        return ranked if count is None else ranked[:count]
+
+    def remove(self, neighbor: str) -> None:
+        self._entries.pop(neighbor, None)
+
+    def observe(self, neighbor: str, distance: float, now: int,
+                deletable: Optional[Set[str]] = None) -> bool:
+        """Record one observed distance to *neighbor* at reference-time *now*.
+
+        Returns True if the observation was incorporated (the update
+        either hit an existing entry, fit in free space, or won the
+        replacement priority), False if it was discarded.
+        """
+        # Compensation (section 3.1.3): distances beyond M are recorded
+        # as M, partially adjusting for the truncated window.
+        if distance > self._parameters.lookback_window:
+            distance = float(self._parameters.compensation_distance)
+
+        entry = self._entries.get(neighbor)
+        if entry is not None:
+            entry.add(distance, now=now)
+            return True
+        if len(self._entries) < self._parameters.max_neighbors:
+            fresh = DistanceSummary()
+            fresh.add(distance, now=now)
+            self._entries[neighbor] = fresh
+            return True
+        victim = self._choose_victim(distance, now, deletable or set())
+        if victim is None:
+            return False
+        del self._entries[victim]
+        fresh = DistanceSummary()
+        fresh.add(distance, now=now)
+        self._entries[neighbor] = fresh
+        return True
+
+    def _choose_victim(self, candidate_distance: float, now: int,
+                       deletable: Set[str]) -> Optional[str]:
+        """Apply the three-step replacement priority of section 3.1.3."""
+        # 1. A closely related file marked for deletion.
+        marked = [name for name in self._entries if name in deletable]
+        if marked:
+            return min(marked)  # deterministic among marked entries
+        # 2. The entry with the largest current distance, ties broken
+        #    randomly, replaced only if farther than the candidate.
+        geometric = self._parameters.use_geometric_mean
+        largest = max(entry.mean(geometric=geometric) for entry in self._entries.values())
+        if largest > candidate_distance:
+            worst = [name for name, entry in self._entries.items()
+                     if entry.mean(geometric=geometric) == largest]
+            return self._rng.choice(sorted(worst))
+        # 3. Aging: a very old, inactive entry may be replaced anyway.
+        aged = [name for name, entry in self._entries.items()
+                if now - entry.last_update > self._parameters.aging_threshold]
+        if aged:
+            return min(aged, key=lambda name: (self._entries[name].last_update, name))
+        return None
+
+
+class NeighborStore:
+    """All per-file neighbor tables, plus the deletion-mark set."""
+
+    def __init__(self, parameters: SeerParameters = DEFAULT_PARAMETERS,
+                 seed: int = 0) -> None:
+        self._parameters = parameters
+        self._tables: Dict[str, NeighborTable] = {}
+        self._rng = random.Random(seed)
+        self.marked_for_deletion: Set[str] = set()
+
+    def __len__(self) -> int:
+        return len(self._tables)
+
+    def __contains__(self, file: str) -> bool:
+        return file in self._tables
+
+    def table(self, file: str) -> NeighborTable:
+        existing = self._tables.get(file)
+        if existing is None:
+            existing = NeighborTable(self._parameters,
+                                     rng=random.Random(self._rng.random()))
+            self._tables[file] = existing
+        return existing
+
+    def get(self, file: str) -> Optional[NeighborTable]:
+        return self._tables.get(file)
+
+    def files(self) -> List[str]:
+        return list(self._tables)
+
+    def observe(self, from_file: str, to_file: str, distance: float, now: int) -> bool:
+        """Record an observed distance from *from_file* to *to_file*."""
+        return self.table(from_file).observe(
+            to_file, distance, now, deletable=self.marked_for_deletion)
+
+    def rename_file(self, old: str, new: str) -> None:
+        """Carry a file's identity across a rename (section 4.8).
+
+        Its own table moves to the new name and every other table's
+        entry for the old name is re-keyed, so relationship information
+        survives idioms like writing ``foo.c.tmp`` then renaming it
+        over ``foo.c``.
+        """
+        if old == new:
+            return
+        table = self._tables.pop(old, None)
+        if table is not None:
+            self._tables[new] = table
+        for other in self._tables.values():
+            entry = other._entries.pop(old, None)
+            if entry is not None and new not in other._entries:
+                other._entries[new] = entry
+        if old in self.marked_for_deletion:
+            self.marked_for_deletion.discard(old)
+            self.marked_for_deletion.add(new)
+
+    def remove_file(self, file: str) -> None:
+        """Drop *file*'s table and purge it from every neighbor list."""
+        self._tables.pop(file, None)
+        for table in self._tables.values():
+            table.remove(file)
+        self.marked_for_deletion.discard(file)
+
+    def neighbor_lists(self, now: Optional[int] = None,
+                       stale_after: Optional[int] = None) -> Dict[str, Set[str]]:
+        """File -> set of tracked neighbors; the clustering input.
+
+        With *now* and *stale_after*, entries not reinforced within the
+        last *stale_after* references are omitted -- the second half of
+        the paper's aging story (section 3.1.3): inferred relationships
+        that stop recurring are removed over time, so long-dormant
+        clusters dissolve instead of accreting junk forever.
+        """
+        if now is None or stale_after is None:
+            return {file: table.neighbors()
+                    for file, table in self._tables.items()}
+        cutoff = now - stale_after
+        lists: Dict[str, Set[str]] = {}
+        for file, table in self._tables.items():
+            fresh = {neighbor for neighbor, entry in table._entries.items()
+                     if entry.last_update >= cutoff}
+            if fresh:
+                lists[file] = fresh
+        return lists

@@ -1,0 +1,43 @@
+"""Applications of SEER's methods beyond file hoarding.
+
+Section 7: "the predictive and inferential methods pioneered by SEER
+hold promise for other applications, such as Web caching, network file
+systems, and directory reorganization.  We are currently investigating
+ways to apply our work to these and similar areas."  This package
+implements two of those investigations:
+
+* :mod:`repro.extensions.webcache` -- semantic-distance clustering of
+  URL request streams drives a prefetching cache, compared against a
+  plain LRU cache;
+* :mod:`repro.extensions.reorganize` -- directory reorganization:
+  given SEER's clusters, propose a layout in which directories match
+  projects, and score how "misplaced" the current tree is.
+"""
+
+from repro.extensions.reorganize import (
+    ReorganizationPlan,
+    misplacement_score,
+    propose_reorganization,
+)
+from repro.extensions.webcache import (
+    BrowsingWorkload,
+    CacheResult,
+    LruWebCache,
+    PrefetchingWebCache,
+    UrlRequest,
+    WebCorrelator,
+    simulate_web_caching,
+)
+
+__all__ = [
+    "BrowsingWorkload",
+    "CacheResult",
+    "LruWebCache",
+    "PrefetchingWebCache",
+    "ReorganizationPlan",
+    "UrlRequest",
+    "WebCorrelator",
+    "misplacement_score",
+    "propose_reorganization",
+    "simulate_web_caching",
+]

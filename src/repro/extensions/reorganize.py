@@ -1,0 +1,138 @@
+"""Directory reorganization from SEER's clusters (paper section 7).
+
+If SEER's clusters are the *true* project structure, the directory
+tree ought to match them: files of one project in one directory.  This
+module measures how far a tree is from that ideal
+(:func:`misplacement_score`) and proposes moves that would align it
+(:func:`propose_reorganization`) -- the "directory reorganization"
+application the paper names as future work.
+
+A cluster's *home* is the directory holding the plurality of its
+members; members living elsewhere are misplaced.  Files in several
+clusters (a compiler, a shared header) are anchored by the cluster
+that holds them most tightly and are never proposed for a move out of
+a shared system area.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass, field
+from typing import Dict, List, Mapping, Optional, Sequence, Set, Tuple
+
+from repro.core.clustering import ClusterSet
+from repro.fs.paths import basename, dirname
+
+
+@dataclass(frozen=True)
+class Move:
+    """One proposed relocation."""
+
+    source: str
+    destination: str
+    cluster_id: int
+
+    @property
+    def destination_path(self) -> str:
+        return self.destination.rstrip("/") + "/" + basename(self.source)
+
+
+@dataclass
+class ReorganizationPlan:
+    """The proposed moves plus before/after scores."""
+
+    moves: List[Move] = field(default_factory=list)
+    homes: Dict[int, str] = field(default_factory=dict)
+    score_before: float = 0.0
+    score_after: float = 0.0
+
+    @property
+    def improvement(self) -> float:
+        return self.score_before - self.score_after
+
+
+def cluster_home(members: Set[str]) -> Optional[str]:
+    """The directory holding the plurality of *members* (ties: the
+    lexicographically first, for determinism)."""
+    if not members:
+        return None
+    counts = Counter(dirname(path) for path in members)
+    best = max(counts.items(), key=lambda item: (item[1], -len(item[0]),
+                                                 item[0] == sorted(counts)[0]))
+    # Deterministic plurality: highest count, then lexicographic.
+    top_count = max(counts.values())
+    candidates = sorted(d for d, c in counts.items() if c == top_count)
+    return candidates[0]
+
+
+def misplacement_score(clusters: ClusterSet,
+                       protected_prefixes: Sequence[str] = ("/bin", "/lib",
+                                                            "/etc", "/dev")
+                       ) -> float:
+    """Fraction of cluster memberships living outside their cluster's
+    home directory (0.0 = the tree matches the clusters exactly)."""
+    total = 0
+    misplaced = 0
+    for cluster_id in clusters.cluster_ids():
+        members = clusters.members(cluster_id)
+        if len(members) < 2:
+            continue
+        home = cluster_home(members)
+        for path in members:
+            if any(path.startswith(prefix) for prefix in protected_prefixes):
+                continue
+            total += 1
+            if dirname(path) != home:
+                misplaced += 1
+    return misplaced / total if total else 0.0
+
+
+def propose_reorganization(clusters: ClusterSet,
+                           protected_prefixes: Sequence[str] = ("/bin", "/lib",
+                                                                "/etc", "/dev")
+                           ) -> ReorganizationPlan:
+    """Propose moving each misplaced file to its anchor cluster's home.
+
+    A file in several clusters is anchored to its smallest containing
+    cluster (the tightest grouping).  System areas are never touched.
+    """
+    plan = ReorganizationPlan()
+    plan.score_before = misplacement_score(clusters, protected_prefixes)
+
+    anchor: Dict[str, int] = {}
+    for path in clusters.files():
+        containing = clusters.clusters_of(path)
+        multi = [c for c in containing if len(clusters.members(c)) >= 2]
+        if not multi:
+            continue
+        anchor[path] = min(multi, key=lambda c: (len(clusters.members(c)), c))
+
+    for cluster_id in clusters.cluster_ids():
+        members = clusters.members(cluster_id)
+        if len(members) < 2:
+            continue
+        home = cluster_home(members)
+        plan.homes[cluster_id] = home
+        for path in sorted(members):
+            if any(path.startswith(prefix) for prefix in protected_prefixes):
+                continue
+            if anchor.get(path) != cluster_id:
+                continue   # anchored elsewhere: that cluster decides
+            if dirname(path) != home:
+                plan.moves.append(Move(source=path, destination=home,
+                                       cluster_id=cluster_id))
+
+    # Score the tree as it would look after the moves.
+    moved = {move.source: move.destination_path for move in plan.moves}
+    relocated = _relocate_clusters(clusters, moved)
+    plan.score_after = misplacement_score(relocated, protected_prefixes)
+    return plan
+
+
+def _relocate_clusters(clusters: ClusterSet,
+                       moved: Mapping[str, str]) -> ClusterSet:
+    relocated = ClusterSet()
+    for cluster_id in clusters.cluster_ids():
+        relocated.new_cluster(moved.get(path, path)
+                              for path in clusters.members(cluster_id))
+    return relocated

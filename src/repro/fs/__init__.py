@@ -1,0 +1,44 @@
+"""In-memory filesystem substrate.
+
+SEER observes file references made against a real Unix filesystem.  This
+package provides the synthetic equivalent: a hierarchical tree of inodes
+(regular files, directories, symbolic links, device nodes and
+pseudo-files) with Unix path semantics -- absolute/relative resolution,
+``.`` and ``..`` components, symlink traversal, rename and unlink.
+
+The filesystem is deliberately simple: it stores sizes and kinds rather
+than byte contents (SEER never looks at data, only at whole-file
+operations), except that small text contents can be attached for the
+benefit of external investigators that parse ``#include`` lines or
+makefiles.
+"""
+
+from repro.fs.filesystem import (
+    FileKind,
+    FileSystem,
+    FileSystemError,
+    Inode,
+    IsADirectory,
+    NotADirectory,
+    NotFound,
+    SymlinkLoop,
+)
+from repro.fs.paths import basename, dirname, directory_distance, is_absolute, join, normalize, split_components
+
+__all__ = [
+    "FileKind",
+    "FileSystem",
+    "FileSystemError",
+    "Inode",
+    "IsADirectory",
+    "NotADirectory",
+    "NotFound",
+    "SymlinkLoop",
+    "basename",
+    "dirname",
+    "directory_distance",
+    "is_absolute",
+    "join",
+    "normalize",
+    "split_components",
+]

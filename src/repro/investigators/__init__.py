@@ -1,0 +1,31 @@
+"""External investigators (paper sections 3.2 and 3.3.3).
+
+An external investigator is an auxiliary program that examines selected
+files and extracts application-specific relationship information, fed
+to the correlator as groups of related files with investigator-chosen
+weights.  This package provides the investigators the paper mentions:
+
+* :class:`CIncludeInvestigator` -- the ``#include`` scanner the authors
+  built (the "simple script that can read C source files");
+* :class:`MakefileInvestigator` -- the hypothesized makefile
+  investigator that can identify every file needed to build a program
+  and force them into one cluster;
+* :class:`NamingInvestigator` -- file-naming conventions (C++ classes
+  split across ``.h``/``.cc`` files differing only in extension);
+* :class:`HotLinkInvestigator` -- OLE-style hot links between
+  documents, modelled as explicit link annotations.
+"""
+
+from repro.investigators.base import Investigator
+from repro.investigators.c_include import CIncludeInvestigator
+from repro.investigators.hotlink import HotLinkInvestigator
+from repro.investigators.makefile import MakefileInvestigator
+from repro.investigators.naming import NamingInvestigator
+
+__all__ = [
+    "CIncludeInvestigator",
+    "HotLinkInvestigator",
+    "Investigator",
+    "MakefileInvestigator",
+    "NamingInvestigator",
+]

@@ -1,0 +1,23 @@
+"""Simulated kernel: processes, file descriptors and traced system calls.
+
+The real SEER observes user activity through "a simple modification to
+the operating system kernel that allows system calls to be traced"
+(section 4.11).  This package is the synthetic stand-in: a process
+table with fork/exec/exit semantics, per-process file-descriptor tables
+and working directories, and a system-call layer that emits
+:class:`~repro.tracing.events.TraceRecord` objects with the same
+semantics the paper describes:
+
+* most calls are traced *after* completion, so success/failure is
+  visible; ``exec`` and ``exit`` are traced *before* (section 4.11);
+* calls made by registered SEER pids and (by default) by the superuser
+  are not traced, to avoid the deadlocks of section 4.10;
+* ``getcwd`` is modelled as the directory-climbing open/readdir pattern
+  of the C library routine (section 4.1).
+"""
+
+from repro.kernel.clock import VirtualClock
+from repro.kernel.process import Process, ProcessTable
+from repro.kernel.syscalls import Kernel
+
+__all__ = ["Kernel", "Process", "ProcessTable", "VirtualClock"]

@@ -1,0 +1,35 @@
+"""Virtual wall-clock time for the simulation.
+
+Every component that needs "now" shares one :class:`VirtualClock`, which
+only moves when the workload generator advances it.  This keeps traces
+deterministic and lets a months-long deployment replay in seconds.
+"""
+
+from __future__ import annotations
+
+
+class VirtualClock:
+    """Monotonic virtual time in seconds since the simulation epoch."""
+
+    def __init__(self, start: float = 0.0) -> None:
+        self._now = float(start)
+
+    @property
+    def now(self) -> float:
+        return self._now
+
+    def advance(self, seconds: float) -> float:
+        """Move time forward; negative advances are rejected."""
+        if seconds < 0:
+            raise ValueError(f"clock cannot move backwards ({seconds} s)")
+        self._now += seconds
+        return self._now
+
+    def advance_to(self, timestamp: float) -> float:
+        """Move time forward to an absolute timestamp (no-op if past)."""
+        if timestamp > self._now:
+            self._now = timestamp
+        return self._now
+
+    def __repr__(self) -> str:
+        return f"VirtualClock(now={self._now:.3f})"

@@ -1,0 +1,98 @@
+"""Process model: pids, parents, file descriptors, working directories.
+
+SEER separates reference streams per process and merges a child's
+history into its parent on exit (section 4.7), so the substrate must
+provide a faithful fork/exec/exit lifecycle.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+
+@dataclass
+class OpenFile:
+    """One open file-descriptor slot."""
+
+    path: str            # absolute path at open time
+    is_directory: bool = False
+    wrote: bool = False  # set if the process wrote through this fd
+
+
+@dataclass
+class Process:
+    """A simulated process."""
+
+    pid: int
+    ppid: int
+    uid: int = 1000
+    program: str = ""
+    cwd: str = "/"
+    alive: bool = True
+    fds: Dict[int, OpenFile] = field(default_factory=dict)
+    children: List[int] = field(default_factory=list)
+    _next_fd: int = 3  # 0-2 reserved, as on Unix
+
+    def allocate_fd(self, open_file: OpenFile) -> int:
+        fd = self._next_fd
+        self._next_fd += 1
+        self.fds[fd] = open_file
+        return fd
+
+    def open_paths(self) -> List[str]:
+        """Absolute paths of all currently open non-directory files."""
+        return [f.path for f in self.fds.values() if not f.is_directory]
+
+
+class ProcessTable:
+    """Allocates pids and tracks live/dead processes."""
+
+    def __init__(self) -> None:
+        self._processes: Dict[int, Process] = {}
+        self._next_pid = 1
+        # pid 1: init-like root of the process tree
+        self._init = self.spawn(ppid=0, program="init", uid=0)
+
+    @property
+    def init(self) -> Process:
+        return self._init
+
+    def spawn(self, ppid: int, program: str = "", uid: int = 1000, cwd: str = "/") -> Process:
+        """Create a fresh process (used internally by fork)."""
+        pid = self._next_pid
+        self._next_pid += 1
+        process = Process(pid=pid, ppid=ppid, uid=uid, program=program, cwd=cwd)
+        self._processes[pid] = process
+        parent = self._processes.get(ppid)
+        if parent is not None:
+            parent.children.append(pid)
+        return process
+
+    def fork(self, parent: Process) -> Process:
+        """Duplicate *parent*: child inherits uid, cwd and program name."""
+        if not parent.alive:
+            raise ValueError(f"cannot fork dead process {parent.pid}")
+        child = self.spawn(ppid=parent.pid, program=parent.program,
+                           uid=parent.uid, cwd=parent.cwd)
+        return child
+
+    def exit(self, process: Process) -> None:
+        """Mark *process* dead; its open descriptors are dropped."""
+        process.alive = False
+        process.fds.clear()
+
+    def get(self, pid: int) -> Optional[Process]:
+        return self._processes.get(pid)
+
+    def __getitem__(self, pid: int) -> Process:
+        return self._processes[pid]
+
+    def __contains__(self, pid: int) -> bool:
+        return pid in self._processes
+
+    def live_processes(self) -> List[Process]:
+        return [p for p in self._processes.values() if p.alive]
+
+    def __len__(self) -> int:
+        return len(self._processes)

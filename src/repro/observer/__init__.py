@@ -1,0 +1,29 @@
+"""The observer: from raw trace records to classified references.
+
+The observer (paper section 2) watches the trace stream, converts
+pathnames to absolute form, classifies each access, and feeds the
+correlator.  Most of its bulk is the real-world filtering of section 4:
+meaningless-activity detection (find(1) and friends), the getcwd
+pattern, the 1 % frequently-referenced-file rule for shared libraries,
+critical-file and dot-file exclusion, temporary directories, and
+non-file objects.
+"""
+
+from repro.observer.control_file import ControlConfig, parse_control_file
+from repro.observer.filters import (
+    FrequentFileDetector,
+    GetcwdDetector,
+    MeaninglessDetector,
+    MeaninglessStrategy,
+)
+from repro.observer.observer import Observer
+
+__all__ = [
+    "ControlConfig",
+    "FrequentFileDetector",
+    "GetcwdDetector",
+    "MeaninglessDetector",
+    "MeaninglessStrategy",
+    "Observer",
+    "parse_control_file",
+]

@@ -1,0 +1,117 @@
+"""The system control file (paper sections 4.1, 4.3, 4.5, 4.6).
+
+A small administrator-maintained configuration listing:
+
+* programs whose accesses are hand-specified as meaningless
+  (the paper's residual list: xargs, rdist, the replication substrate
+  and the external investigators);
+* transient directories such as ``/tmp`` whose files are ignored;
+* critical files and directories (such as ``/etc``) left outside
+  SEER's control and always hoarded;
+* non-file objects to omit from distance calculations
+  (e.g. ``/dev/tty*``).
+
+The on-disk format is line oriented: ``<directive> <argument>`` with
+``#`` comments.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from fnmatch import fnmatchcase
+from typing import IO, Iterable, Set
+
+from repro.fs.paths import basename, normalize
+
+DEFAULT_MEANINGLESS_PROGRAMS = frozenset({"xargs", "rdist", "rumor", "investigator"})
+DEFAULT_TRANSIENT_DIRS = frozenset({"/tmp", "/var/tmp"})
+DEFAULT_CRITICAL_PREFIXES = frozenset({"/etc"})
+DEFAULT_IGNORED_PATTERNS = frozenset({"/dev/*", "/proc/*"})
+
+
+@dataclass
+class ControlConfig:
+    """Parsed control-file contents."""
+
+    meaningless_programs: Set[str] = field(
+        default_factory=lambda: set(DEFAULT_MEANINGLESS_PROGRAMS))
+    transient_dirs: Set[str] = field(
+        default_factory=lambda: set(DEFAULT_TRANSIENT_DIRS))
+    critical_prefixes: Set[str] = field(
+        default_factory=lambda: set(DEFAULT_CRITICAL_PREFIXES))
+    critical_files: Set[str] = field(default_factory=set)
+    ignored_patterns: Set[str] = field(
+        default_factory=lambda: set(DEFAULT_IGNORED_PATTERNS))
+    hoard_dotfiles: bool = True   # the UNIX-specific heuristic (sec. 4.3)
+
+    @classmethod
+    def empty(cls) -> "ControlConfig":
+        """A config with no defaults, for tests and ablations."""
+        return cls(meaningless_programs=set(), transient_dirs=set(),
+                   critical_prefixes=set(), ignored_patterns=set())
+
+    # ------------------------------------------------------------------
+    # queries
+    # ------------------------------------------------------------------
+    def is_meaningless_program(self, program: str) -> bool:
+        return program in self.meaningless_programs
+
+    def is_transient(self, path: str) -> bool:
+        """True if *path* lies under a transient directory (sec. 4.5)."""
+        path = normalize(path)
+        return any(path == d or path.startswith(d.rstrip("/") + "/")
+                   for d in self.transient_dirs)
+
+    def is_critical(self, path: str) -> bool:
+        """True for files left outside SEER's control (section 4.3)."""
+        path = normalize(path)
+        if path in self.critical_files:
+            return True
+        if any(path == p or path.startswith(p.rstrip("/") + "/")
+               for p in self.critical_prefixes):
+            return True
+        if self.hoard_dotfiles and basename(path).startswith("."):
+            return True
+        return False
+
+    def is_ignored_object(self, path: str) -> bool:
+        """Non-file objects omitted from distance calculation (sec. 4.6)."""
+        path = normalize(path)
+        return any(fnmatchcase(path, pattern) for pattern in self.ignored_patterns)
+
+
+def parse_control_file(stream: IO[str]) -> ControlConfig:
+    """Parse the line-oriented control-file format."""
+    config = ControlConfig.empty()
+    config.hoard_dotfiles = True
+    for line_number, raw in enumerate(stream, start=1):
+        line = raw.split("#", 1)[0].strip()
+        if not line:
+            continue
+        parts = line.split(None, 1)
+        if len(parts) != 2:
+            raise ValueError(f"control file line {line_number}: expected "
+                             f"'<directive> <argument>', got {raw!r}")
+        directive, argument = parts[0].lower(), parts[1].strip()
+        if directive == "meaningless":
+            config.meaningless_programs.add(argument)
+        elif directive == "transient":
+            config.transient_dirs.add(normalize(argument))
+        elif directive == "critical":
+            config.critical_prefixes.add(normalize(argument))
+        elif directive == "critical-file":
+            config.critical_files.add(normalize(argument))
+        elif directive == "ignore":
+            config.ignored_patterns.add(argument)
+        elif directive == "dotfiles":
+            config.hoard_dotfiles = argument.lower() in ("on", "true", "yes", "1")
+        else:
+            raise ValueError(f"control file line {line_number}: "
+                             f"unknown directive {directive!r}")
+    return config
+
+
+def parse_control_text(text: str) -> ControlConfig:
+    """Parse control-file contents from a string."""
+    import io
+    return parse_control_file(io.StringIO(text))

@@ -1,0 +1,50 @@
+"""Replication substrates (paper section 2).
+
+SEER does not move files itself; an underlying replication system
+manages transport, update propagation and conflicts.  The paper runs
+SEER atop RUMOR (peer-to-peer reconciliation), a custom master-slave
+service called CHEAP RUMOR, and CODA (client-server with callbacks);
+FICUS-style *remote access* matters for hoard-miss detection
+(section 4.4).  This package provides simulated equivalents with the
+properties SEER relies on:
+
+* a common :class:`ReplicationSystem` interface (``set_hoard``,
+  ``access``, ``disconnect``/``reconnect``, ``local_update``,
+  ``synchronize``);
+* :class:`CheapRumor` -- master-slave, server wins conflicts;
+* :class:`Rumor` -- version-vector peer reconciliation with conflict
+  detection and resolver hooks;
+* :class:`CodaReplication` -- server callbacks, hoard priorities and a
+  hoard walk.
+"""
+
+from repro.replication.base import (
+    AccessOutcome,
+    AccessResult,
+    ConflictRecord,
+    ReplicationSystem,
+)
+from repro.replication.cheap_rumor import CheapRumor
+from repro.replication.coda import CodaReplication
+from repro.replication.ficus import FicusReplication
+from repro.replication.gossip import GossipRound, RumorNetwork
+from repro.replication.little_work import LittleWork, LogEntry, LogOperation
+from repro.replication.rumor import Rumor, RumorReplica, VersionVector
+
+__all__ = [
+    "AccessOutcome",
+    "AccessResult",
+    "CheapRumor",
+    "CodaReplication",
+    "ConflictRecord",
+    "FicusReplication",
+    "GossipRound",
+    "LittleWork",
+    "LogEntry",
+    "LogOperation",
+    "ReplicationSystem",
+    "Rumor",
+    "RumorNetwork",
+    "RumorReplica",
+    "VersionVector",
+]

@@ -1,0 +1,154 @@
+"""The replication-system interface SEER is written against.
+
+SEER assumes very little of the underlying system (section 2), which is
+what makes it portable.  The interface below captures exactly what the
+paper uses:
+
+* ``set_hoard`` -- load the chosen files onto the local disk;
+* ``access``   -- the outcome of a file access: served locally, served
+  remotely (FICUS-style), a detectable hoard miss, or indistinguishable
+  from a nonexistent file (section 4.4's hard case);
+* connectivity transitions and reconnection synchronization with
+  conflict reporting (section 2's "managing conflicts [17]").
+"""
+
+from __future__ import annotations
+
+import abc
+import enum
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Set
+
+from repro.fs import FileSystem
+
+
+class AccessOutcome(enum.Enum):
+    LOCAL = "local"            # served from the hoard
+    REMOTE = "remote"          # served by remote access while connected
+    MISS = "miss"              # detectable hoard miss (file known to exist)
+    NOT_FOUND = "not_found"    # failure indistinguishable from ENOENT
+
+
+@dataclass(frozen=True)
+class AccessResult:
+    path: str
+    outcome: AccessOutcome
+
+    @property
+    def ok(self) -> bool:
+        return self.outcome in (AccessOutcome.LOCAL, AccessOutcome.REMOTE)
+
+
+@dataclass
+class ConflictRecord:
+    """One update/update conflict discovered at synchronization."""
+
+    path: str
+    winner: str          # which side's data was kept
+    loser: str
+    detail: str = ""
+
+
+class ReplicationSystem(abc.ABC):
+    """Common behaviour for the three substrates."""
+
+    #: Can a connected access to a non-hoarded file be served remotely?
+    supports_remote_access: bool = False
+    #: Can a disconnected miss be distinguished from a nonexistent file?
+    supports_miss_detection: bool = False
+
+    def __init__(self, server: FileSystem) -> None:
+        self.server = server
+        self.connected = True
+        self.hoarded: Dict[str, int] = {}    # path -> server version at fetch
+        self.local_sizes: Dict[str, int] = {}
+        self.dirty: Set[str] = set()
+        self.conflicts: List[ConflictRecord] = []
+
+    # ------------------------------------------------------------------
+    # hoard management
+    # ------------------------------------------------------------------
+    def set_hoard(self, paths: Set[str]) -> Set[str]:
+        """Replace hoard contents; returns the paths actually fetched.
+
+        Files that vanished from the server since SEER last saw them
+        are skipped.  Locally dirty files are never evicted before
+        synchronization, matching the safety behaviour of real systems.
+        """
+        if not self.connected:
+            raise RuntimeError("cannot refill the hoard while disconnected")
+        keep_dirty = {path for path in self.dirty if path in self.hoarded}
+        fetched: Set[str] = set()
+        new_hoard: Dict[str, int] = {}
+        new_sizes: Dict[str, int] = {}
+        for path in sorted(set(paths) | keep_dirty):
+            node = self._server_node(path)
+            if path in keep_dirty:
+                new_hoard[path] = self.hoarded[path]
+                new_sizes[path] = self.local_sizes.get(path, 0)
+                fetched.add(path)
+            elif node is not None:
+                new_hoard[path] = node.version
+                new_sizes[path] = node.size
+                fetched.add(path)
+        self.hoarded = new_hoard
+        self.local_sizes = new_sizes
+        return fetched
+
+    def hoarded_paths(self) -> Set[str]:
+        return set(self.hoarded)
+
+    def hoard_bytes(self) -> int:
+        return sum(self.local_sizes.values())
+
+    def _server_node(self, path: str):
+        try:
+            node = self.server.stat(path, follow_symlinks=False)
+        except Exception:
+            return None
+        return node
+
+    # ------------------------------------------------------------------
+    # connectivity
+    # ------------------------------------------------------------------
+    def disconnect(self) -> None:
+        self.connected = False
+
+    def reconnect(self) -> List[ConflictRecord]:
+        """Re-establish connectivity and synchronize; returns the
+        conflicts discovered during this synchronization."""
+        self.connected = True
+        return self.synchronize()
+
+    # ------------------------------------------------------------------
+    # access and update
+    # ------------------------------------------------------------------
+    def access(self, path: str) -> AccessResult:
+        """The outcome of the user touching *path* right now."""
+        if path in self.hoarded:
+            return AccessResult(path, AccessOutcome.LOCAL)
+        exists_remotely = self._server_node(path) is not None
+        if self.connected:
+            if self.supports_remote_access and exists_remotely:
+                return AccessResult(path, AccessOutcome.REMOTE)
+            if exists_remotely:
+                # Connected but no remote-access support: the file can
+                # be fetched on demand; treat as a remote access too.
+                return AccessResult(path, AccessOutcome.REMOTE)
+            return AccessResult(path, AccessOutcome.NOT_FOUND)
+        if exists_remotely and self.supports_miss_detection:
+            return AccessResult(path, AccessOutcome.MISS)
+        return AccessResult(path, AccessOutcome.NOT_FOUND)
+
+    def local_update(self, path: str, size: Optional[int] = None) -> bool:
+        """The user modified a hoarded file on the laptop."""
+        if path not in self.hoarded:
+            return False
+        self.dirty.add(path)
+        if size is not None:
+            self.local_sizes[path] = size
+        return True
+
+    @abc.abstractmethod
+    def synchronize(self) -> List[ConflictRecord]:
+        """Propagate updates both ways; returns new conflicts."""

@@ -1,0 +1,61 @@
+"""CHEAP RUMOR: the custom master-slave replication service.
+
+The paper mentions "a custom-built master-slave replication service
+called CHEAP RUMOR" (section 2).  Master-slave means the server is
+authoritative: on synchronization, clean local copies are refreshed
+from the server; dirty local copies are pushed back, unless the server
+copy also changed, in which case the server wins and the local update
+is recorded as a conflict.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.replication.base import ConflictRecord, ReplicationSystem
+
+
+class CheapRumor(ReplicationSystem):
+    """Master-slave replication; the server wins every conflict."""
+
+    supports_remote_access = False
+    supports_miss_detection = False   # the hard case of section 4.4:
+                                      # misses look like ENOENT, which is
+                                      # why SEER has manual miss recording
+
+    def synchronize(self) -> List[ConflictRecord]:
+        if not self.connected:
+            raise RuntimeError("cannot synchronize while disconnected")
+        new_conflicts: List[ConflictRecord] = []
+        for path in sorted(self.hoarded):
+            node = self._server_node(path)
+            if node is None:
+                # Deleted on the master: the slave copy is dropped, and
+                # a dirty local copy loses.
+                if path in self.dirty:
+                    new_conflicts.append(ConflictRecord(
+                        path=path, winner="server", loser="local",
+                        detail="deleted on master while modified locally"))
+                self.hoarded.pop(path, None)
+                self.local_sizes.pop(path, None)
+                self.dirty.discard(path)
+                continue
+            if path in self.dirty:
+                if node.version != self.hoarded[path]:
+                    # Both sides changed: master wins.
+                    new_conflicts.append(ConflictRecord(
+                        path=path, winner="server", loser="local",
+                        detail=f"server v{node.version} != fetched "
+                               f"v{self.hoarded[path]}"))
+                    self.local_sizes[path] = node.size
+                else:
+                    # Push the slave's update to the master.
+                    self.server.write(path, size=self.local_sizes.get(path))
+                    node = self._server_node(path)
+                self.dirty.discard(path)
+            else:
+                self.local_sizes[path] = node.size
+            if node is not None:
+                self.hoarded[path] = node.version
+        self.conflicts.extend(new_conflicts)
+        return new_conflicts

@@ -1,0 +1,141 @@
+"""A CODA-like client-server substrate.
+
+CODA [11] serves files from servers with client caching; servers hold
+*callbacks* on cached files and break them when another client updates
+the file.  Hoarding is driven by user-assigned priorities ("hoard
+profiles") refreshed by a periodic *hoard walk*.  SEER runs atop CODA
+by feeding its chosen files in as maximum-priority entries.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional, Set
+
+from repro.baselines.coda_priority import HoardProfile
+from repro.fs import FileSystem
+from repro.replication.base import AccessOutcome, AccessResult, ConflictRecord, ReplicationSystem
+
+
+class CodaReplication(ReplicationSystem):
+    """Client cache with callbacks and a priority-driven hoard walk."""
+
+    supports_remote_access = True    # connected misses are served remotely
+    supports_miss_detection = True   # cached directory state reveals them
+
+    def __init__(self, server: FileSystem, cache_budget: int = 10**9) -> None:
+        super().__init__(server)
+        self.cache_budget = cache_budget
+        self.profiles: List[HoardProfile] = []
+        self._callbacks: Set[str] = set()     # paths with a held callback
+        self._broken: Set[str] = set()        # callbacks broken by updates
+
+    # ------------------------------------------------------------------
+    # callbacks
+    # ------------------------------------------------------------------
+    def server_updated(self, path: str) -> None:
+        """Another client updated *path* on the server: break callback."""
+        if path in self._callbacks:
+            self._callbacks.discard(path)
+            if self.connected:
+                self._broken.add(path)
+            else:
+                # The break is discovered at reconnection (and may be a
+                # conflict if we also wrote the file).
+                self._broken.add(path)
+
+    def has_callback(self, path: str) -> bool:
+        return path in self._callbacks
+
+    # ------------------------------------------------------------------
+    # hoard walk
+    # ------------------------------------------------------------------
+    def load_profile(self, profile: HoardProfile) -> None:
+        self.profiles.append(profile)
+
+    def priority_of(self, path: str) -> float:
+        return sum(profile.offset_for(path) for profile in self.profiles)
+
+    def hoard_walk(self, candidates: Optional[Set[str]] = None) -> Set[str]:
+        """Re-evaluate the cache against priorities and the budget.
+
+        *candidates* defaults to the union of currently hoarded files
+        and everything matched by a profile rule.
+        """
+        if not self.connected:
+            raise RuntimeError("hoard walk requires connectivity")
+        if candidates is None:
+            candidates = set(self.hoarded)
+            for profile in self.profiles:
+                for prefix in profile.rules:
+                    node = self._server_node(prefix)
+                    if node is not None and node.kind.name == "DIRECTORY":
+                        candidates.update(
+                            path for path, _ in self.server.iter_files(prefix))
+                    elif node is not None:
+                        candidates.add(prefix)
+        ranked = sorted(candidates,
+                        key=lambda path: (-self.priority_of(path), path))
+        chosen: Set[str] = set()
+        total = 0
+        for path in ranked:
+            node = self._server_node(path)
+            if node is None:
+                continue
+            if total + node.size <= self.cache_budget:
+                chosen.add(path)
+                total += node.size
+        self.set_hoard(chosen)
+        return chosen
+
+    def set_hoard(self, paths: Set[str]) -> Set[str]:
+        fetched = super().set_hoard(paths)
+        self._callbacks = set(fetched)
+        self._broken -= fetched   # refetch validates the cache
+        return fetched
+
+    # ------------------------------------------------------------------
+    # access semantics
+    # ------------------------------------------------------------------
+    def access(self, path: str) -> AccessResult:
+        if path in self.hoarded and path in self._broken and self.connected:
+            # Stale cache entry: refetch transparently.
+            node = self._server_node(path)
+            if node is not None:
+                self.hoarded[path] = node.version
+                self.local_sizes[path] = node.size
+                self._callbacks.add(path)
+                self._broken.discard(path)
+                return AccessResult(path, AccessOutcome.REMOTE)
+        return super().access(path)
+
+    def synchronize(self) -> List[ConflictRecord]:
+        if not self.connected:
+            raise RuntimeError("cannot synchronize while disconnected")
+        new_conflicts: List[ConflictRecord] = []
+        for path in sorted(self.hoarded):
+            node = self._server_node(path)
+            if node is None:
+                self.hoarded.pop(path, None)
+                self.local_sizes.pop(path, None)
+                self.dirty.discard(path)
+                continue
+            server_changed = node.version != self.hoarded[path]
+            if path in self.dirty and server_changed:
+                # Update/update conflict: CODA preserves the local copy
+                # for manual repair; we keep local and log it.
+                new_conflicts.append(ConflictRecord(
+                    path=path, winner="local", loser="server",
+                    detail="reintegration conflict"))
+                self.server.write(path, size=self.local_sizes.get(path))
+            elif path in self.dirty:
+                self.server.write(path, size=self.local_sizes.get(path))
+            elif server_changed:
+                self.local_sizes[path] = node.size
+            refreshed = self._server_node(path)
+            if refreshed is not None:
+                self.hoarded[path] = refreshed.version
+            self._callbacks.add(path)
+            self._broken.discard(path)
+        self.dirty.clear()
+        self.conflicts.extend(new_conflicts)
+        return new_conflicts

@@ -1,0 +1,91 @@
+"""A FICUS-like substrate: peer replicas with remote access.
+
+FICUS [7, 8] is the optimistic peer-replication filesystem SEER grew
+up alongside.  The property section 4.4 leans on: FICUS supports
+*remote access*, "where an access to a non-local object is
+automatically converted to an access to a remote one", whose success
+depends on the availability of the remote replica.  A successful
+remote access is visible to SEER (the file gets marked for hoarding);
+a failed one returns an error code indistinguishable from a
+nonexistent file -- the case that forces SEER's manual miss recording.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional, Set
+
+from repro.fs import FileSystem
+from repro.replication.base import (
+    AccessOutcome,
+    AccessResult,
+    ConflictRecord,
+    ReplicationSystem,
+)
+
+
+class FicusReplication(ReplicationSystem):
+    """Peer replication with remote access and automatic resolvers."""
+
+    supports_remote_access = True
+    supports_miss_detection = False   # failed disconnected accesses look
+                                      # exactly like ENOENT (section 4.4)
+
+    def __init__(self, server: FileSystem,
+                 resolver: Optional[Callable[[str, int, int], str]] = None) -> None:
+        super().__init__(server)
+        self.remote_accesses: List[str] = []
+        # Type-specific automatic resolvers [17]; ours takes
+        # (path, local_size, server_size) and names the winner.
+        self._resolver = resolver if resolver is not None else _keep_local
+
+    def access(self, path: str) -> AccessResult:
+        result = super().access(path)
+        if result.outcome is AccessOutcome.REMOTE:
+            # SEER can identify remote accesses and mark the file to
+            # be hoarded later (section 4.4).
+            self.remote_accesses.append(path)
+        return result
+
+    def remotely_accessed_paths(self) -> Set[str]:
+        """Files SEER should add to the hoard at the next refill."""
+        return set(self.remote_accesses)
+
+    def synchronize(self) -> List[ConflictRecord]:
+        if not self.connected:
+            raise RuntimeError("cannot synchronize while disconnected")
+        new_conflicts: List[ConflictRecord] = []
+        for path in sorted(self.hoarded):
+            node = self._server_node(path)
+            if node is None:
+                self.hoarded.pop(path, None)
+                self.local_sizes.pop(path, None)
+                self.dirty.discard(path)
+                continue
+            server_changed = node.version != self.hoarded[path]
+            if path in self.dirty and server_changed:
+                # Concurrent updates: run the automatic resolver.
+                winner = self._resolver(path, self.local_sizes.get(path, 0),
+                                        node.size)
+                if winner == "local":
+                    self.server.write(path, size=self.local_sizes.get(path))
+                else:
+                    self.local_sizes[path] = node.size
+                new_conflicts.append(ConflictRecord(
+                    path=path, winner=winner,
+                    loser="server" if winner == "local" else "local",
+                    detail="resolved automatically"))
+            elif path in self.dirty:
+                self.server.write(path, size=self.local_sizes.get(path))
+            elif server_changed:
+                self.local_sizes[path] = node.size
+            refreshed = self._server_node(path)
+            if refreshed is not None:
+                self.hoarded[path] = refreshed.version
+        self.dirty.clear()
+        self.conflicts.extend(new_conflicts)
+        return new_conflicts
+
+
+def _keep_local(path: str, local_size: int, server_size: int) -> str:
+    """Default resolver: the disconnected user's work wins."""
+    return "local"

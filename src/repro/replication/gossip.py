@@ -1,0 +1,128 @@
+"""Multi-replica RUMOR reconciliation (gossip / anti-entropy).
+
+RUMOR [18] is "peer-to-peer reconciliation based replication for
+mobile computers": any pair of replicas can reconcile, and updates
+spread epidemically -- a laptop that syncs with a desktop that later
+syncs with the server carries the update along.  This module runs a
+whole population of :class:`~repro.replication.rumor.RumorReplica`
+objects through configurable gossip topologies and provides the
+convergence checks the epidemic literature (and the tests) care about.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.replication.base import ConflictRecord
+from repro.replication.rumor import ConflictResolver, RumorReplica
+
+
+@dataclass
+class GossipRound:
+    """What happened in one reconciliation round."""
+
+    index: int
+    pairs: List[Tuple[str, str]] = field(default_factory=list)
+    conflicts: List[ConflictRecord] = field(default_factory=list)
+
+
+class RumorNetwork:
+    """A population of replicas reconciling pairwise."""
+
+    def __init__(self, replica_ids: Sequence[str],
+                 resolver: Optional[ConflictResolver] = None,
+                 seed: int = 0) -> None:
+        if len(replica_ids) < 2:
+            raise ValueError("a network needs at least two replicas")
+        if len(set(replica_ids)) != len(replica_ids):
+            raise ValueError("replica ids must be unique")
+        self.replicas: Dict[str, RumorReplica] = {
+            rid: RumorReplica(rid) for rid in replica_ids}
+        self._resolver = resolver
+        self._rng = random.Random(seed)
+        self.rounds: List[GossipRound] = []
+
+    # ------------------------------------------------------------------
+    # population operations
+    # ------------------------------------------------------------------
+    def seed_file(self, path: str, size: int = 0,
+                  origin: Optional[str] = None) -> None:
+        """Create *path* at one replica (default: the first)."""
+        replica = self.replicas[origin] if origin is not None \
+            else next(iter(self.replicas.values()))
+        replica.store(path, size=size)
+        replica.update(path, size=size)   # creation counts as an update
+
+    def update(self, replica_id: str, path: str, size: int) -> None:
+        replica = self.replicas[replica_id]
+        if path not in replica.files:
+            replica.store(path, size=size)
+        replica.update(path, size=size)
+
+    def reconcile_pair(self, first: str, second: str) -> List[ConflictRecord]:
+        """One full pairwise sync: pull in both directions."""
+        a, b = self.replicas[first], self.replicas[second]
+        conflicts = a.reconcile_from(b, self._resolver)
+        conflicts += b.reconcile_from(a, self._resolver)
+        return conflicts
+
+    # ------------------------------------------------------------------
+    # topologies
+    # ------------------------------------------------------------------
+    def ring_round(self) -> GossipRound:
+        """Each replica reconciles with its ring successor."""
+        ids = list(self.replicas)
+        round_record = GossipRound(index=len(self.rounds))
+        for position, rid in enumerate(ids):
+            peer = ids[(position + 1) % len(ids)]
+            round_record.pairs.append((rid, peer))
+            round_record.conflicts += self.reconcile_pair(rid, peer)
+        self.rounds.append(round_record)
+        return round_record
+
+    def random_round(self) -> GossipRound:
+        """Each replica reconciles with one random peer."""
+        ids = list(self.replicas)
+        round_record = GossipRound(index=len(self.rounds))
+        for rid in ids:
+            peer = self._rng.choice([other for other in ids if other != rid])
+            round_record.pairs.append((rid, peer))
+            round_record.conflicts += self.reconcile_pair(rid, peer)
+        self.rounds.append(round_record)
+        return round_record
+
+    def gossip_until_converged(self, topology: str = "random",
+                               max_rounds: int = 50) -> int:
+        """Run rounds until convergence; returns the rounds used."""
+        step = self.ring_round if topology == "ring" else self.random_round
+        for round_number in range(1, max_rounds + 1):
+            step()
+            if self.converged():
+                return round_number
+        raise RuntimeError(f"no convergence within {max_rounds} rounds")
+
+    # ------------------------------------------------------------------
+    # convergence checks
+    # ------------------------------------------------------------------
+    def converged(self) -> bool:
+        """All replicas hold the same files at comparable versions."""
+        replicas = list(self.replicas.values())
+        reference = replicas[0]
+        for other in replicas[1:]:
+            if other.paths() != reference.paths():
+                return False
+            for path in reference.paths():
+                mine, theirs = reference.files[path], other.files[path]
+                if mine.size != theirs.size:
+                    return False
+                if mine.vector.concurrent_with(theirs.vector):
+                    return False
+        return True
+
+    def file_sizes(self, path: str) -> Dict[str, int]:
+        """The size each replica currently holds for *path*."""
+        return {rid: replica.files[path].size
+                for rid, replica in self.replicas.items()
+                if path in replica.files}

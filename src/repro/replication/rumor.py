@@ -1,0 +1,191 @@
+"""RUMOR: reconciliation-based peer-to-peer optimistic replication.
+
+RUMOR [6, 18] is a user-level optimistic replication system in which
+any pair of replicas can reconcile, detecting concurrent updates with
+per-file version vectors.  This module implements that core:
+:class:`VersionVector` (the standard dominates/concurrent algebra),
+:class:`RumorReplica` (one machine's copy set), and :class:`Rumor`
+(the SEER-facing substrate whose laptop replica reconciles with a
+server replica on reconnection).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Set, Tuple
+
+from repro.fs import FileSystem
+from repro.replication.base import ConflictRecord, ReplicationSystem
+
+
+class VersionVector:
+    """The classic version vector: replica id -> update counter."""
+
+    def __init__(self, counts: Optional[Dict[str, int]] = None) -> None:
+        self.counts: Dict[str, int] = dict(counts or {})
+
+    def bump(self, replica_id: str) -> "VersionVector":
+        self.counts[replica_id] = self.counts.get(replica_id, 0) + 1
+        return self
+
+    def dominates(self, other: "VersionVector") -> bool:
+        """True if this vector is >= *other* componentwise."""
+        return all(self.counts.get(key, 0) >= value
+                   for key, value in other.counts.items())
+
+    def concurrent_with(self, other: "VersionVector") -> bool:
+        return not self.dominates(other) and not other.dominates(self)
+
+    def merge(self, other: "VersionVector") -> "VersionVector":
+        merged = dict(self.counts)
+        for key, value in other.counts.items():
+            merged[key] = max(merged.get(key, 0), value)
+        return VersionVector(merged)
+
+    def copy(self) -> "VersionVector":
+        return VersionVector(self.counts)
+
+    def __eq__(self, other) -> bool:
+        if not isinstance(other, VersionVector):
+            return NotImplemented
+        keys = set(self.counts) | set(other.counts)
+        return all(self.counts.get(k, 0) == other.counts.get(k, 0) for k in keys)
+
+    def __repr__(self) -> str:
+        return f"VersionVector({self.counts})"
+
+
+@dataclass
+class _FileCopy:
+    vector: VersionVector
+    size: int
+
+
+ConflictResolver = Callable[[str, _FileCopy, _FileCopy], str]
+
+
+class RumorReplica:
+    """One replica's file set with version vectors."""
+
+    def __init__(self, replica_id: str) -> None:
+        self.replica_id = replica_id
+        self.files: Dict[str, _FileCopy] = {}
+
+    def store(self, path: str, size: int,
+              vector: Optional[VersionVector] = None) -> None:
+        base = vector.copy() if vector is not None else VersionVector()
+        self.files[path] = _FileCopy(vector=base, size=size)
+
+    def update(self, path: str, size: Optional[int] = None) -> None:
+        """A local modification: bump this replica's component."""
+        copy = self.files[path]
+        copy.vector.bump(self.replica_id)
+        if size is not None:
+            copy.size = size
+
+    def paths(self) -> Set[str]:
+        return set(self.files)
+
+    def reconcile_from(self, other: "RumorReplica",
+                       resolver: Optional[ConflictResolver] = None
+                       ) -> List[ConflictRecord]:
+        """Pull pass: bring this replica up to date from *other*.
+
+        RUMOR reconciliation is one-directional per pass (pull); a full
+        sync is a pull in each direction.  Conflicts (concurrent
+        vectors) are resolved by *resolver*, which names the winning
+        replica; the default keeps the larger copy ("no lost work").
+        """
+        conflicts: List[ConflictRecord] = []
+        for path in sorted(other.paths()):
+            theirs = other.files[path]
+            mine = self.files.get(path)
+            if mine is None:
+                self.files[path] = _FileCopy(vector=theirs.vector.copy(),
+                                             size=theirs.size)
+                continue
+            if theirs.vector.dominates(mine.vector):
+                mine.size = theirs.size
+                mine.vector = theirs.vector.copy()
+            elif mine.vector.dominates(theirs.vector):
+                pass  # we are newer; the other side pulls later
+            else:
+                winner = (resolver or _keep_larger)(path, mine, theirs)
+                merged = mine.vector.merge(theirs.vector)
+                merged.bump(self.replica_id)   # the resolution is an update
+                if winner == other.replica_id:
+                    mine.size = theirs.size
+                mine.vector = merged
+                conflicts.append(ConflictRecord(
+                    path=path, winner=winner,
+                    loser=self.replica_id if winner == other.replica_id
+                    else other.replica_id,
+                    detail="concurrent update"))
+        return conflicts
+
+
+def _keep_larger(path: str, mine: _FileCopy, theirs: _FileCopy) -> str:
+    return "peer" if theirs.size > mine.size else "local"
+
+
+class Rumor(ReplicationSystem):
+    """The SEER-facing substrate: laptop replica + server replica."""
+
+    supports_remote_access = False
+    supports_miss_detection = True   # RUMOR keeps enough metadata to know
+                                     # a file exists elsewhere
+
+    def __init__(self, server: FileSystem,
+                 resolver: Optional[ConflictResolver] = None) -> None:
+        super().__init__(server)
+        self.laptop = RumorReplica("laptop")
+        self.server_replica = RumorReplica("server")
+        self._resolver = resolver
+
+    def set_hoard(self, paths: Set[str]) -> Set[str]:
+        fetched = super().set_hoard(paths)
+        for path in fetched:
+            if path not in self.laptop.files:
+                node = self._server_node(path)
+                vector = VersionVector({"server": node.version if node else 0})
+                self.laptop.store(path, self.local_sizes.get(path, 0), vector)
+        for path in list(self.laptop.paths()):
+            if path not in self.hoarded:
+                del self.laptop.files[path]
+        return fetched
+
+    def local_update(self, path: str, size: Optional[int] = None) -> bool:
+        if not super().local_update(path, size):
+            return False
+        self.laptop.update(path, size)
+        return True
+
+    def synchronize(self) -> List[ConflictRecord]:
+        if not self.connected:
+            raise RuntimeError("cannot reconcile while disconnected")
+        # Refresh the server replica's metadata from the backing fs.
+        for path in sorted(self.hoarded):
+            node = self._server_node(path)
+            if node is None:
+                continue
+            existing = self.server_replica.files.get(path)
+            vector = VersionVector({"server": node.version})
+            if existing is None or not existing.vector.dominates(vector):
+                self.server_replica.store(path, node.size, vector)
+        pull = self.laptop.reconcile_from(self.server_replica, self._resolver)
+        push = self.server_replica.reconcile_from(self.laptop, self._resolver)
+        # Apply pushed sizes back to the backing filesystem.
+        for path, copy in self.server_replica.files.items():
+            node = self._server_node(path)
+            if node is not None and node.size != copy.size:
+                self.server.write(path, size=copy.size)
+        for path in sorted(self.hoarded):
+            node = self._server_node(path)
+            if node is not None:
+                self.hoarded[path] = node.version
+                self.local_sizes[path] = self.laptop.files[path].size \
+                    if path in self.laptop.files else node.size
+        self.dirty.clear()
+        new_conflicts = pull + push
+        self.conflicts.extend(new_conflicts)
+        return new_conflicts

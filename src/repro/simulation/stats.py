@@ -1,0 +1,69 @@
+"""Descriptive statistics and confidence intervals.
+
+The paper reports means, medians, standard deviations, ranges, and
+99 % confidence intervals (Figure 2's error analysis, Tables 3 and 5).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Optional, Sequence
+
+from scipy import stats as scipy_stats
+
+
+@dataclass(frozen=True)
+class SummaryStatistics:
+    count: int
+    total: float
+    mean: float
+    median: float
+    std: float
+    minimum: float
+    maximum: float
+
+    def format_row(self) -> str:
+        return (f"n={self.count} total={self.total:.2f} mean={self.mean:.2f} "
+                f"median={self.median:.2f} std={self.std:.2f} "
+                f"max={self.maximum:.2f}")
+
+
+def summarize(values: Sequence[float]) -> SummaryStatistics:
+    """Mean/median/std/min/max of *values* (sample std, ddof=1)."""
+    data = sorted(float(v) for v in values)
+    if not data:
+        return SummaryStatistics(0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0)
+    count = len(data)
+    total = sum(data)
+    mean = total / count
+    middle = count // 2
+    if count % 2:
+        median = data[middle]
+    else:
+        median = (data[middle - 1] + data[middle]) / 2
+    if count > 1:
+        variance = sum((v - mean) ** 2 for v in data) / (count - 1)
+        std = math.sqrt(variance)
+    else:
+        std = 0.0
+    return SummaryStatistics(count=count, total=total, mean=mean,
+                             median=median, std=std,
+                             minimum=data[0], maximum=data[-1])
+
+
+def ci99_halfwidth(values: Sequence[float]) -> float:
+    """Half-width of the 99 % confidence interval about the mean,
+    using the t distribution (the paper quotes +/- bounds)."""
+    data = [float(v) for v in values]
+    if len(data) < 2:
+        return 0.0
+    summary = summarize(data)
+    t_critical = scipy_stats.t.ppf(0.995, df=len(data) - 1)
+    return float(t_critical * summary.std / math.sqrt(len(data)))
+
+
+def mean_with_ci(values: Sequence[float]) -> str:
+    """Render ``mean +/- ci99`` the way Figure 2's caption does."""
+    summary = summarize(values)
+    return f"{summary.mean:.2f} +/- {ci99_halfwidth(values):.2f}"

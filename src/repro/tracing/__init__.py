@@ -1,0 +1,23 @@
+"""Trace model: the records the simulated kernel emits and SEER consumes.
+
+The paper's observer is fed by a kernel modification that traces
+"high-level" file operations -- opens, closes, execs, exits, status
+inquiries, deletions, renames and so on (sections 3.1, 4.8 and 4.11).
+This package defines those records, a line-oriented on-disk format so
+traces can be saved and replayed, and summary statistics.
+"""
+
+from repro.tracing.events import Operation, TraceRecord
+from repro.tracing.io import read_trace, read_trace_file, write_trace, write_trace_file
+from repro.tracing.stats import TraceStatistics, summarize_trace
+
+__all__ = [
+    "Operation",
+    "TraceRecord",
+    "TraceStatistics",
+    "read_trace",
+    "read_trace_file",
+    "summarize_trace",
+    "write_trace",
+    "write_trace_file",
+]

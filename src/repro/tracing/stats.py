@@ -1,0 +1,81 @@
+"""Trace summary statistics.
+
+The paper characterizes its traces by total operation count (40 K for
+the least-used machine up to 326 M for the most-used) and by the mix of
+operation types.  :func:`summarize_trace` computes the same summary for
+a synthetic trace so experiments can report their scale.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, Set
+
+from repro.tracing.events import Operation, TraceRecord
+
+
+@dataclass
+class TraceStatistics:
+    """Aggregate description of a trace."""
+
+    operations: int = 0
+    by_operation: Dict[Operation, int] = field(default_factory=dict)
+    distinct_files: int = 0
+    distinct_processes: int = 0
+    distinct_programs: int = 0
+    failures: int = 0
+    start_time: float = 0.0
+    end_time: float = 0.0
+
+    @property
+    def duration(self) -> float:
+        return max(0.0, self.end_time - self.start_time)
+
+    def format(self) -> str:
+        """Human-readable multi-line summary."""
+        lines = [
+            f"operations:        {self.operations}",
+            f"distinct files:    {self.distinct_files}",
+            f"distinct pids:     {self.distinct_processes}",
+            f"distinct programs: {self.distinct_programs}",
+            f"failed calls:      {self.failures}",
+            f"duration (hours):  {self.duration / 3600.0:.2f}",
+        ]
+        for op, count in sorted(self.by_operation.items(), key=lambda item: -item[1]):
+            lines.append(f"  {op.value:<12} {count}")
+        return "\n".join(lines)
+
+
+def summarize_trace(records: Iterable[TraceRecord]) -> TraceStatistics:
+    """Compute :class:`TraceStatistics` in one pass over *records*."""
+    counts: Counter = Counter()
+    files: Set[str] = set()
+    pids: Set[int] = set()
+    programs: Set[str] = set()
+    failures = 0
+    start = end = None
+    total = 0
+    for record in records:
+        total += 1
+        counts[record.op] += 1
+        if record.path:
+            files.add(record.path)
+        pids.add(record.pid)
+        if record.program:
+            programs.add(record.program)
+        if not record.ok:
+            failures += 1
+        if start is None:
+            start = record.time
+        end = record.time
+    return TraceStatistics(
+        operations=total,
+        by_operation=dict(counts),
+        distinct_files=len(files),
+        distinct_processes=len(pids),
+        distinct_programs=len(programs),
+        failures=failures,
+        start_time=start or 0.0,
+        end_time=end or 0.0,
+    )

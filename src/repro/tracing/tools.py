@@ -1,0 +1,145 @@
+"""Trace manipulation utilities.
+
+The SEER group distributed their user traces for research -- after
+anonymization, since pathnames reveal what people work on.  These are
+the standard operations a trace consumer needs:
+
+* :func:`filter_trace` -- keep records matching a predicate (time
+  window, pid set, operation set, path prefix);
+* :func:`merge_traces` -- interleave multiple streams in time order
+  (e.g. to build a multi-user server trace from per-user logs);
+* :func:`anonymize_trace` -- stable, structure-preserving pathname
+  hashing: directory hierarchy and extensions survive (the algorithms
+  depend on them), names do not;
+* :func:`time_slice` / :func:`split_by_day` -- windowing helpers the
+  simulations use.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from typing import Callable, Dict, Iterable, Iterator, List, Optional, Sequence, Set
+
+from repro.tracing.events import Operation, TraceRecord
+
+
+def filter_trace(records: Iterable[TraceRecord],
+                 start: Optional[float] = None,
+                 end: Optional[float] = None,
+                 pids: Optional[Set[int]] = None,
+                 operations: Optional[Set[Operation]] = None,
+                 path_prefix: Optional[str] = None,
+                 predicate: Optional[Callable[[TraceRecord], bool]] = None
+                 ) -> Iterator[TraceRecord]:
+    """Yield the records matching every supplied criterion."""
+    for record in records:
+        if start is not None and record.time < start:
+            continue
+        if end is not None and record.time >= end:
+            continue
+        if pids is not None and record.pid not in pids:
+            continue
+        if operations is not None and record.op not in operations:
+            continue
+        if path_prefix is not None and not record.path.startswith(path_prefix):
+            continue
+        if predicate is not None and not predicate(record):
+            continue
+        yield record
+
+
+def merge_traces(*streams: Sequence[TraceRecord],
+                 renumber: bool = True) -> List[TraceRecord]:
+    """Merge time-ordered streams into one time-ordered stream.
+
+    With *renumber* (the default) sequence numbers are reassigned so
+    the result has the strictly increasing seq the consumers expect.
+    """
+    import heapq
+    merged = list(heapq.merge(*streams, key=lambda record: record.time))
+    if renumber:
+        merged = [record.replace(seq=index)
+                  for index, record in enumerate(merged, start=1)]
+    return merged
+
+
+class PathAnonymizer:
+    """Structure-preserving pathname anonymization.
+
+    Each path component maps to a stable hash token; extensions and
+    leading dots are preserved because SEER's heuristics (naming
+    investigator, dot-file rule) depend on them.  The mapping is
+    deterministic per salt, so two traces anonymized with the same
+    salt remain joinable.
+    """
+
+    def __init__(self, salt: str = "", keep_prefixes: Sequence[str] = ("/",),
+                 token_length: int = 8) -> None:
+        self.salt = salt
+        # Paths under these prefixes keep their real names (system
+        # areas carry no personal information and the control file
+        # needs them intact).
+        self.keep_prefixes = [p for p in keep_prefixes if p != "/"]
+        self.token_length = token_length
+        self._cache: Dict[str, str] = {}
+
+    def _token(self, component: str) -> str:
+        cached = self._cache.get(component)
+        if cached is not None:
+            return cached
+        name, dot, extension = component.rpartition(".")
+        if not name:     # dot-file or extension-less
+            name, extension, dot = component, "", ""
+        digest = hashlib.sha256(
+            (self.salt + name).encode("utf-8")).hexdigest()[: self.token_length]
+        prefix = "." if component.startswith(".") else ""
+        token = f"{prefix}{digest}{dot}{extension}"
+        self._cache[component] = token
+        return token
+
+    def anonymize_path(self, path: str) -> str:
+        if not path:
+            return path
+        if any(path == p or path.startswith(p.rstrip("/") + "/")
+               for p in self.keep_prefixes):
+            return path
+        if not path.startswith("/"):
+            # Relative path: anonymize every component.
+            return "/".join(self._token(c) if c not in (".", "..") else c
+                            for c in path.split("/"))
+        components = [c for c in path.split("/") if c]
+        return "/" + "/".join(self._token(c) for c in components)
+
+    def anonymize_record(self, record: TraceRecord) -> TraceRecord:
+        return record.replace(path=self.anonymize_path(record.path),
+                              path2=self.anonymize_path(record.path2))
+
+
+def anonymize_trace(records: Iterable[TraceRecord], salt: str = "",
+                    keep_prefixes: Sequence[str] = ("/bin", "/lib", "/etc",
+                                                    "/dev", "/tmp")
+                    ) -> List[TraceRecord]:
+    """Anonymize every record with one shared component mapping."""
+    anonymizer = PathAnonymizer(salt=salt, keep_prefixes=keep_prefixes)
+    return [anonymizer.anonymize_record(record) for record in records]
+
+
+def time_slice(records: Sequence[TraceRecord], start: float,
+               end: float) -> List[TraceRecord]:
+    """Records with start <= time < end."""
+    return list(filter_trace(records, start=start, end=end))
+
+
+def split_by_day(records: Sequence[TraceRecord],
+                 day_seconds: float = 86400.0) -> List[List[TraceRecord]]:
+    """Partition a trace into consecutive day-sized windows."""
+    if not records:
+        return []
+    origin = records[0].time
+    windows: List[List[TraceRecord]] = []
+    for record in records:
+        index = int((record.time - origin) // day_seconds)
+        while len(windows) <= index:
+            windows.append([])
+        windows[index].append(record)
+    return windows

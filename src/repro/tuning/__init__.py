@@ -1,0 +1,34 @@
+"""Parameter-space search (paper section 4.9).
+
+"The correct settings for these parameters are not obvious, and
+interactions among them are complex and difficult to predict...  we
+found it necessary to devote significant effort to searching the
+parameter space for the values that would produce good results for all
+users."  This package is that search harness: grid sweeps and random
+search over :class:`~repro.core.parameters.SeerParameters`, scored by
+the miss-free hoard-size simulation across one or more machines.
+"""
+
+from repro.tuning.objective import (
+    EvaluationResult,
+    hoard_overhead_objective,
+    evaluate_parameters,
+)
+from repro.tuning.search import (
+    GridSearch,
+    RandomSearch,
+    SearchOutcome,
+    SweepPoint,
+    sweep_parameter,
+)
+
+__all__ = [
+    "EvaluationResult",
+    "GridSearch",
+    "RandomSearch",
+    "SearchOutcome",
+    "SweepPoint",
+    "evaluate_parameters",
+    "hoard_overhead_objective",
+    "sweep_parameter",
+]

@@ -1,0 +1,57 @@
+"""Objectives for the parameter search.
+
+The quantity SEER's authors tuned for is hoarding quality: the hoard
+should be as close as possible to the working set while still
+covering it.  :func:`hoard_overhead_objective` scores a parameter set
+by SEER's mean miss-free overhead (hoard size / working set) averaged
+over the supplied machine traces -- lower is better, 1.0 is optimal.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+from repro.core.parameters import SeerParameters
+from repro.simulation.missfree import simulate_miss_free
+from repro.workload.generator import GeneratedTrace
+
+DAY = 86400.0
+
+
+@dataclass
+class EvaluationResult:
+    """One parameter set's score across machines."""
+
+    parameters: SeerParameters
+    score: float                       # lower is better
+    per_machine: Dict[str, float] = field(default_factory=dict)
+
+    def __lt__(self, other: "EvaluationResult") -> bool:
+        return self.score < other.score
+
+
+def hoard_overhead_objective(trace: GeneratedTrace,
+                             parameters: SeerParameters,
+                             window_seconds: float = DAY) -> float:
+    """Mean SEER hoard size relative to the working set (>= ~1.0)."""
+    result = simulate_miss_free(trace, window_seconds, parameters=parameters)
+    if not result.windows or result.mean_working_set == 0:
+        return float("inf")
+    return result.mean_seer / result.mean_working_set
+
+
+def evaluate_parameters(parameters: SeerParameters,
+                        traces: Sequence[GeneratedTrace],
+                        window_seconds: float = DAY) -> EvaluationResult:
+    """Score *parameters* over every trace; the score is the mean
+    per-machine overhead (the paper tuned for "good results for all
+    users", so no machine is allowed to dominate)."""
+    per_machine: Dict[str, float] = {}
+    for trace in traces:
+        per_machine[trace.machine.name] = hoard_overhead_objective(
+            trace, parameters, window_seconds)
+    values = list(per_machine.values())
+    score = sum(values) / len(values) if values else float("inf")
+    return EvaluationResult(parameters=parameters, score=score,
+                            per_machine=per_machine)

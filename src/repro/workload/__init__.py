@@ -1,0 +1,46 @@
+"""Synthetic user workloads.
+
+The paper's evaluation rests on traces of nine real laptop users in a
+software-development environment (machines A-I, section 5.1.1).  This
+package is the substitute: a parameterised user-behaviour model that
+generates system-call traffic with the structures SEER's algorithms
+care about -- projects with internal locality, edit/compile cycles,
+attention shifts, mail reading interleaved with compilations, find(1)
+scans, getcwd calls, temporary files, shared libraries opened by every
+program -- plus per-machine disconnection schedules calibrated to
+Table 3's statistics.
+"""
+
+from repro.workload.generator import GeneratedTrace, UserModel, generate_machine_trace
+from repro.workload.machines import MACHINES, MachineProfile, machine_profile
+from repro.workload.projects import (
+    CProject,
+    DocumentProject,
+    FileRole,
+    MailProject,
+    Project,
+    build_system_tree,
+)
+from repro.workload.sessions import Period, PeriodKind, Schedule, generate_schedule
+from repro.workload.sizes import GEOMETRIC_P, FileSizeModel
+
+__all__ = [
+    "CProject",
+    "DocumentProject",
+    "FileRole",
+    "FileSizeModel",
+    "GEOMETRIC_P",
+    "GeneratedTrace",
+    "MACHINES",
+    "MachineProfile",
+    "MailProject",
+    "Period",
+    "PeriodKind",
+    "Project",
+    "Schedule",
+    "UserModel",
+    "build_system_tree",
+    "generate_machine_trace",
+    "generate_schedule",
+    "machine_profile",
+]

@@ -1,0 +1,80 @@
+"""The nine machine profiles (paper Tables 3 and 4).
+
+Each profile carries the published disconnection statistics of one
+machine (count, mean/median/max duration, measurement days), its
+configured hoard size (Table 4: 50 MB everywhere except G's 98 MB),
+its relative activity level (traces ranged from ~40 K operations for
+the least-used machines, C and H, to ~326 M for the most-used, G), and
+workload-shape knobs (project counts, attention-shift rate).
+
+Activity is expressed as work bursts per connected hour and scaled down
+uniformly (the ``scale`` argument of
+:func:`repro.workload.generator.generate_machine_trace`) so whole
+deployments replay in seconds.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Tuple
+
+MB = 1024 * 1024
+
+
+@dataclass(frozen=True)
+class MachineProfile:
+    name: str
+    days_measured: int
+    n_disconnections: int
+    mean_disconnection_hours: float
+    median_disconnection_hours: float
+    max_disconnection_hours: float
+    hoard_size_bytes: int
+    activity: float            # relative usage level (1.0 = heavy)
+    n_code_projects: int
+    n_document_projects: int
+    attention_shift_rate: float  # probability of switching focus per burst
+    uses_investigators: bool = False
+
+
+# Table 3's published statistics, verbatim.
+MACHINES: Dict[str, MachineProfile] = {
+    "A": MachineProfile("A", 111, 38, 11.16, 3.24, 71.89, 50 * MB,
+                        activity=0.4, n_code_projects=5,
+                        n_document_projects=2, attention_shift_rate=0.012),
+    "B": MachineProfile("B", 79, 10, 43.20, 0.57, 404.94, 50 * MB,
+                        activity=0.15, n_code_projects=4,
+                        n_document_projects=2, attention_shift_rate=0.010,
+                        uses_investigators=True),
+    "C": MachineProfile("C", 113, 75, 9.94, 1.12, 348.20, 50 * MB,
+                        activity=0.1, n_code_projects=3,
+                        n_document_projects=2, attention_shift_rate=0.008),
+    "D": MachineProfile("D", 118, 90, 3.01, 1.38, 26.50, 50 * MB,
+                        activity=0.5, n_code_projects=6,
+                        n_document_projects=2, attention_shift_rate=0.014),
+    "E": MachineProfile("E", 71, 25, 1.87, 0.81, 12.08, 50 * MB,
+                        activity=0.15, n_code_projects=3,
+                        n_document_projects=2, attention_shift_rate=0.008),
+    "F": MachineProfile("F", 252, 184, 9.30, 2.00, 90.62, 50 * MB,
+                        activity=1.0, n_code_projects=8,
+                        n_document_projects=4, attention_shift_rate=0.020,
+                        uses_investigators=True),
+    "G": MachineProfile("G", 132, 107, 8.06, 1.47, 390.60, 98 * MB,
+                        activity=1.0, n_code_projects=7,
+                        n_document_projects=3, attention_shift_rate=0.016,
+                        uses_investigators=True),
+    "H": MachineProfile("H", 113, 75, 10.17, 1.12, 348.20, 50 * MB,
+                        activity=0.1, n_code_projects=3,
+                        n_document_projects=2, attention_shift_rate=0.008),
+    "I": MachineProfile("I", 123, 116, 2.36, 0.78, 27.68, 50 * MB,
+                        activity=0.6, n_code_projects=5,
+                        n_document_projects=2, attention_shift_rate=0.014),
+}
+
+
+def machine_profile(name: str) -> MachineProfile:
+    try:
+        return MACHINES[name.upper()]
+    except KeyError:
+        raise ValueError(f"unknown machine {name!r}; choose from "
+                         f"{sorted(MACHINES)}") from None

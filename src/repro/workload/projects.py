@@ -1,0 +1,386 @@
+"""Project synthesis and project-level activities.
+
+A *project* is the unit SEER is supposed to discover: a group of files
+the user works on together.  Each project type knows how to build its
+file tree on the simulated filesystem and how to emit realistic
+system-call traffic for one burst of work, driving the kernel exactly
+like the corresponding real programs would (editors that scan
+directories for completion, compilers that hold the source open while
+reading headers, make stat-ing targets before opening sources...).
+
+Every file carries a :class:`FileRole`, which the live simulator maps
+to the paper's miss-severity scale (section 4.4): losing a PRIMARY
+file changes the task (severity 1), an AUXILIARY file modifies
+activity within the task (2), an INFORMATIONAL file causes little
+trouble (3), and a PRELOAD file none at all (4).
+"""
+
+from __future__ import annotations
+
+import enum
+import random
+from typing import Dict, List, Optional, Sequence
+
+from repro.fs import FileSystem
+from repro.kernel import Kernel
+from repro.kernel.process import Process
+from repro.workload.sizes import FileSizeModel
+
+
+class FileRole(enum.Enum):
+    STARTUP = "startup"            # severity 0 if missing
+    PRIMARY = "primary"            # severity 1
+    AUXILIARY = "auxiliary"        # severity 2
+    INFORMATIONAL = "informational"  # severity 3
+    PRELOAD = "preload"            # severity 4
+    TOOL = "tool"                  # binaries/libraries: always hoarded
+                                   # in practice via the 1 % rule
+
+
+# ----------------------------------------------------------------------
+# the system tree shared by all projects
+# ----------------------------------------------------------------------
+SHARED_LIBRARY = "/lib/libc.so"
+EDITOR = "/bin/vi"
+COMPILER = "/bin/cc"
+MAKE = "/bin/make"
+LINKER = "/bin/ld"
+SHELL = "/bin/sh"
+MAILER = "/bin/mail"
+LATEX = "/bin/latex"
+FIND = "/bin/find"
+GREP = "/bin/grep"
+
+
+def build_system_tree(fs: FileSystem, sizes: FileSizeModel) -> Dict[str, FileRole]:
+    """Create /bin, /lib, /etc, /dev and the user's dot-files.
+
+    Returns the role map for the files created.
+    """
+    roles: Dict[str, FileRole] = {}
+    for directory in ("/bin", "/lib", "/etc", "/dev", "/tmp", "/home/u"):
+        fs.mkdir(directory, parents=True)
+    for program in (EDITOR, COMPILER, MAKE, LINKER, SHELL, MAILER, LATEX,
+                    FIND, GREP):
+        fs.create(program, size=sizes.binary())
+        roles[program] = FileRole.TOOL
+    fs.create(SHARED_LIBRARY, size=sizes.shared_library())
+    roles[SHARED_LIBRARY] = FileRole.TOOL
+    for name in ("passwd", "hosts", "fstab"):
+        fs.create(f"/etc/{name}", size=200)
+        roles[f"/etc/{name}"] = FileRole.STARTUP
+    from repro.fs import FileKind
+    fs.create("/dev/console", kind=FileKind.DEVICE)
+    fs.create("/dev/tty0", kind=FileKind.DEVICE)
+    for dotfile in (".login", ".profile", ".exrc"):
+        fs.create(f"/home/u/{dotfile}", size=300)
+        roles[f"/home/u/{dotfile}"] = FileRole.STARTUP
+    return roles
+
+
+def spawn_program(kernel: Kernel, parent: Process, program: str) -> Process:
+    """fork + exec + the shared-library open every dynamic program does.
+
+    The libc open is what drives the 1 % frequently-referenced-file
+    machinery of section 4.2.
+    """
+    child = kernel.spawn(parent, program)
+    fd = kernel.open(child, SHARED_LIBRARY)
+    if fd >= 0:
+        kernel.close(child, fd)
+    return child
+
+
+# ----------------------------------------------------------------------
+# project types
+# ----------------------------------------------------------------------
+class Project:
+    """Base class: a named group of files plus work activities."""
+
+    def __init__(self, name: str, root: str) -> None:
+        self.name = name
+        self.root = root
+        self.roles: Dict[str, FileRole] = {}
+
+    def files(self) -> List[str]:
+        return sorted(self.roles)
+
+    def role_of(self, path: str) -> Optional[FileRole]:
+        return self.roles.get(path)
+
+    def build(self, fs: FileSystem, sizes: FileSizeModel) -> None:
+        raise NotImplementedError
+
+    def work(self, kernel: Kernel, shell: Process, rng: random.Random) -> None:
+        """Emit one burst of work on this project."""
+        raise NotImplementedError
+
+
+class CProject(Project):
+    """A C program: sources, headers, Makefile, objects, binary.
+
+    Work alternates edit cycles (editor scans the directory for
+    completion, opens one source, writes it) and build cycles (make
+    stats targets, cc compiles each stale source holding it open while
+    reading its headers, ld links).
+    """
+
+    def __init__(self, name: str, root: str, n_sources: int = 4,
+                 n_headers: int = 3) -> None:
+        super().__init__(name, root)
+        self.n_sources = n_sources
+        self.n_headers = n_headers
+        self.sources: List[str] = []
+        self.headers: List[str] = []
+        self.objects: List[str] = []
+        self.makefile = f"{root}/Makefile"
+        self.binary = f"{root}/{name}"
+        self._dirty: List[str] = []
+
+    def build(self, fs: FileSystem, sizes: FileSizeModel) -> None:
+        fs.mkdir(self.root, parents=True)
+        self.headers = [f"{self.root}/{self.name}{i}.h"
+                        for i in range(self.n_headers)]
+        for header in self.headers:
+            fs.create(header, size=sizes.header_file(), content="#define X 1\n")
+            self.roles[header] = FileRole.PRIMARY
+        self.sources = [f"{self.root}/{self.name}{i}.c"
+                        for i in range(self.n_sources)]
+        for index, source in enumerate(self.sources):
+            includes = "".join(
+                f'#include "{h.rsplit("/", 1)[1]}"\n'
+                for h in self.headers[: 1 + index % self.n_headers])
+            fs.create(source, size=sizes.source_file(), content=includes)
+            self.roles[source] = FileRole.PRIMARY
+        self.objects = [source[:-2] + ".o" for source in self.sources]
+        source_names = " ".join(s.rsplit("/", 1)[1] for s in self.sources)
+        fs.create(self.makefile, content=(
+            f"SRCS = {source_names}\n"
+            f"{self.name}: $(SRCS)\n\tcc -o {self.name} $(SRCS)\n"))
+        self.roles[self.makefile] = FileRole.AUXILIARY
+        fs.create(self.binary, size=sizes.binary())
+        self.roles[self.binary] = FileRole.AUXILIARY
+        self._dirty = list(self.sources)
+
+    # -- activities ----------------------------------------------------
+    def work(self, kernel: Kernel, shell: Process, rng: random.Random) -> None:
+        if rng.random() < 0.8:
+            self.edit_cycle(kernel, shell, rng)
+        else:
+            self.build_cycle(kernel, shell, rng)
+
+    def edit_cycle(self, kernel: Kernel, shell: Process, rng: random.Random) -> None:
+        editor = spawn_program(kernel, shell, EDITOR)
+        kernel.chdir(editor, self.root)
+        if rng.random() < 0.3:
+            kernel.scandir(editor, self.root)   # filename completion
+        target = rng.choice(self.sources + self.headers)
+        fd = kernel.open(editor, target, write=True)
+        if fd >= 0:
+            kernel.write(editor, fd)
+            kernel.close(editor, fd)
+        if target in self.sources and target not in self._dirty:
+            self._dirty.append(target)
+        # Editing means reading context: a header here, a sibling
+        # source there.
+        consulted = rng.sample(self.sources + self.headers,
+                               min(len(self.sources + self.headers),
+                                   rng.randrange(1, 4)))
+        for path in consulted:
+            if path != target:
+                fd = kernel.open(editor, path)
+                if fd >= 0:
+                    kernel.close(editor, fd)
+        kernel.clock.advance(rng.uniform(60, 600))   # humans edit slowly
+        kernel.exit(editor)
+
+    def build_cycle(self, kernel: Kernel, shell: Process, rng: random.Random) -> None:
+        make = spawn_program(kernel, shell, MAKE)
+        kernel.chdir(make, self.root)
+        fd = kernel.open(make, self.makefile)
+        if fd >= 0:
+            kernel.close(make, fd)
+        for source in self.sources:
+            kernel.stat(make, source)
+            kernel.stat(make, source[:-2] + ".o")
+        if not self._dirty:
+            # "Nothing to be done": make examined attributes only.
+            kernel.clock.advance(rng.uniform(1, 5))
+            kernel.exit(make)
+            return
+        recompile = list(self._dirty)
+        for source in recompile:
+            compiler = spawn_program(kernel, make, COMPILER)
+            kernel.chdir(compiler, self.root)
+            source_fd = kernel.open(compiler, source)
+            for header in self.headers:
+                header_fd = kernel.open(compiler, header)
+                if header_fd >= 0:
+                    kernel.close(compiler, header_fd)
+            # Compilers write a temp file, then rename it over the .o.
+            temp = f"/tmp/cc{kernel.clock.now:.0f}{rng.randrange(10_000)}.o"
+            temp_fd = kernel.open(compiler, temp, create=True,
+                                  size=max(64, kernel.fs.size_of(source)))
+            if temp_fd >= 0:
+                kernel.close(compiler, temp_fd)
+            kernel.rename(compiler, temp, source[:-2] + ".o")
+            if source_fd >= 0:
+                kernel.close(compiler, source_fd)
+            kernel.clock.advance(rng.uniform(1, 10))
+            kernel.exit(compiler)
+        linker = spawn_program(kernel, make, LINKER)
+        kernel.chdir(linker, self.root)
+        for obj in self.objects:
+            fd = kernel.open(linker, obj)
+            if fd >= 0:
+                kernel.close(linker, fd)
+        fd = kernel.open(linker, self.binary, create=True,
+                         size=kernel.fs.size_of(self.binary) or 40_000)
+        if fd >= 0:
+            kernel.close(linker, fd)
+        kernel.exit(linker)
+        kernel.clock.advance(rng.uniform(5, 30))
+        kernel.exit(make)
+        self._dirty = []
+
+
+class DocumentProject(Project):
+    """A paper/report: .tex sources, a .bib, figures, generated output."""
+
+    def __init__(self, name: str, root: str, n_sections: int = 3,
+                 n_figures: int = 2) -> None:
+        super().__init__(name, root)
+        self.n_sections = n_sections
+        self.n_figures = n_figures
+        self.sections: List[str] = []
+        self.figures: List[str] = []
+        self.bibliography = f"{root}/{name}.bib"
+        self.master = f"{root}/{name}.tex"
+
+    def build(self, fs: FileSystem, sizes: FileSizeModel) -> None:
+        fs.mkdir(self.root, parents=True)
+        fs.create(self.master, size=sizes.document())
+        self.roles[self.master] = FileRole.PRIMARY
+        self.sections = [f"{self.root}/section{i}.tex"
+                         for i in range(self.n_sections)]
+        for section in self.sections:
+            fs.create(section, size=sizes.document())
+            self.roles[section] = FileRole.PRIMARY
+        fs.create(self.bibliography, size=sizes.document(),
+                  content="@article{x}\n")
+        self.roles[self.bibliography] = FileRole.AUXILIARY
+        self.figures = [f"{self.root}/fig{i}.ps" for i in range(self.n_figures)]
+        for figure in self.figures:
+            fs.create(figure, size=sizes.document())
+            self.roles[figure] = FileRole.INFORMATIONAL
+
+    def work(self, kernel: Kernel, shell: Process, rng: random.Random) -> None:
+        if rng.random() < 0.7:
+            self.edit_cycle(kernel, shell, rng)
+        else:
+            self.format_cycle(kernel, shell, rng)
+
+    def edit_cycle(self, kernel: Kernel, shell: Process, rng: random.Random) -> None:
+        editor = spawn_program(kernel, shell, EDITOR)
+        kernel.chdir(editor, self.root)
+        target = rng.choice([self.master] + self.sections)
+        fd = kernel.open(editor, target, write=True)
+        if fd >= 0:
+            kernel.write(editor, fd)
+            kernel.close(editor, fd)
+        if rng.random() < 0.3:
+            fd = kernel.open(editor, self.bibliography)
+            if fd >= 0:
+                kernel.close(editor, fd)
+        kernel.clock.advance(rng.uniform(120, 900))
+        kernel.exit(editor)
+
+    def format_cycle(self, kernel: Kernel, shell: Process, rng: random.Random) -> None:
+        latex = spawn_program(kernel, shell, LATEX)
+        kernel.chdir(latex, self.root)
+        master_fd = kernel.open(latex, self.master)
+        for path in self.sections + [self.bibliography] + self.figures:
+            fd = kernel.open(latex, path)
+            if fd >= 0:
+                kernel.close(latex, fd)
+        aux = f"{self.root}/{self.name}.aux"
+        fd = kernel.open(latex, aux, create=True, size=500)
+        if fd >= 0:
+            kernel.close(latex, fd)
+        self.roles.setdefault(aux, FileRole.PRELOAD)
+        dvi = f"{self.root}/{self.name}.dvi"
+        fd = kernel.open(latex, dvi, create=True, size=5_000)
+        if fd >= 0:
+            kernel.close(latex, fd)
+        self.roles.setdefault(dvi, FileRole.PRELOAD)
+        if master_fd >= 0:
+            kernel.close(latex, master_fd)
+        kernel.clock.advance(rng.uniform(5, 30))
+        kernel.exit(latex)
+
+
+class ArchiveProject(Project):
+    """Dormant bulk: an old release tree, downloaded documentation, a
+    finished project kept around "just in case".
+
+    Most of a real disk is this (section 5.2.1: "only a small fraction
+    of all files are actually needed by the user on any given day").
+    Archives are only touched by the occasional browse and by find(1)
+    scans, so they pad LRU history without entering any working set.
+    """
+
+    def __init__(self, name: str, root: str, n_files: int = 40) -> None:
+        super().__init__(name, root)
+        self.n_files = n_files
+
+    def build(self, fs: FileSystem, sizes: FileSizeModel) -> None:
+        fs.mkdir(self.root, parents=True)
+        for index in range(self.n_files):
+            subdir = f"{self.root}/part{index // 10}"
+            if not fs.exists(subdir):
+                fs.mkdir(subdir)
+            path = f"{subdir}/file{index}.dat"
+            fs.create(path, size=sizes.document())
+            self.roles[path] = FileRole.INFORMATIONAL
+
+    def work(self, kernel: Kernel, shell: Process, rng: random.Random) -> None:
+        """A browse: read one or two archive files, then move on."""
+        files = self.files()
+        for path in rng.sample(files, min(len(files), rng.randrange(1, 3))):
+            fd = kernel.open(shell, path)
+            if fd >= 0:
+                kernel.close(shell, fd)
+
+
+class MailProject(Project):
+    """The user's mail: folders read while other work is in flight."""
+
+    def __init__(self, name: str = "mail", root: str = "/home/u/Mail",
+                 n_folders: int = 4) -> None:
+        super().__init__(name, root)
+        self.n_folders = n_folders
+        self.inbox = f"{root}/inbox"
+        self.folders: List[str] = []
+
+    def build(self, fs: FileSystem, sizes: FileSizeModel) -> None:
+        fs.mkdir(self.root, parents=True)
+        fs.create(self.inbox, size=sizes.mail_folder())
+        self.roles[self.inbox] = FileRole.AUXILIARY
+        self.folders = [f"{self.root}/folder{i}" for i in range(self.n_folders)]
+        for folder in self.folders:
+            fs.create(folder, size=sizes.mail_folder())
+            self.roles[folder] = FileRole.INFORMATIONAL
+
+    def work(self, kernel: Kernel, shell: Process, rng: random.Random) -> None:
+        mailer = spawn_program(kernel, shell, MAILER)
+        kernel.chdir(mailer, self.root)
+        fd = kernel.open(mailer, self.inbox, write=rng.random() < 0.5)
+        if fd >= 0:
+            kernel.close(mailer, fd)
+        if rng.random() < 0.4:
+            folder = rng.choice(self.folders)
+            fd = kernel.open(mailer, folder)
+            if fd >= 0:
+                kernel.close(mailer, fd)
+        kernel.clock.advance(rng.uniform(30, 300))
+        kernel.exit(mailer)

@@ -1,0 +1,67 @@
+"""Tests for JSON/CSV export."""
+
+import csv
+import io
+import json
+
+import pytest
+
+from repro.analysis.export import (
+    live_rows,
+    missfree_rows,
+    missfree_summary,
+    to_csv,
+    to_json,
+    write_csv,
+    write_json,
+)
+from tests.analysis.test_tables import make_live_result, make_missfree_result
+
+
+class TestMissFreeExport:
+    def test_rows_per_window(self):
+        rows = missfree_rows([make_missfree_result()])
+        assert len(rows) == 4
+        assert rows[0]["machine"] == "F"
+        assert rows[0]["working_set_bytes"] > 0
+
+    def test_summary_per_result(self):
+        summary = missfree_summary([make_missfree_result(),
+                                    make_missfree_result("A")])
+        assert len(summary) == 2
+        assert summary[0]["lru_to_seer_ratio"] == pytest.approx(3 / 1.1, rel=0.01)
+
+    def test_live_rows(self):
+        rows = live_rows([make_live_result()])
+        assert rows[0]["failed_any_severity"] == 1
+        assert rows[0]["failures_severity_1"] == 1
+        assert rows[0]["failures_severity_0"] == 0
+
+
+class TestFormats:
+    def test_json_roundtrip(self):
+        rows = missfree_summary([make_missfree_result()])
+        parsed = json.loads(to_json(rows))
+        assert parsed[0]["machine"] == "F"
+
+    def test_csv_parseable(self):
+        rows = missfree_rows([make_missfree_result()])
+        parsed = list(csv.DictReader(io.StringIO(to_csv(rows))))
+        assert len(parsed) == len(rows)
+        assert parsed[0]["machine"] == "F"
+
+    def test_csv_empty(self):
+        assert to_csv([]) == ""
+
+    def test_csv_header_sorted_and_stable(self):
+        header = to_csv([{"b": 1, "a": 2}]).splitlines()[0]
+        assert header == "a,b"
+
+    def test_write_files(self, tmp_path):
+        rows = live_rows([make_live_result()])
+        json_path = str(tmp_path / "live.json")
+        csv_path = str(tmp_path / "live.csv")
+        write_json(rows, json_path)
+        write_csv(rows, csv_path)
+        assert json.load(open(json_path))[0]["machine"] == "F"
+        assert "machine" in open(csv_path).readline()

@@ -1,0 +1,50 @@
+"""Tests for the one-call reproduction report."""
+
+import pytest
+
+from repro.analysis import run_reproduction
+
+
+@pytest.fixture(scope="module")
+def report():
+    return run_reproduction(machines=["E"], days=10.0, seed=2,
+                            include_live=True)
+
+
+class TestRunReproduction:
+    def test_missfree_results_per_window(self, report):
+        # Daily + weekly for one machine (E has no investigators).
+        assert len(report.missfree) == 2
+
+    def test_live_results(self, report):
+        assert len(report.live) == 1
+        assert report.live[0].machine == "E"
+
+    def test_ratios_and_overheads(self, report):
+        ratios = report.lru_to_seer_ratios()
+        overheads = report.seer_overheads()
+        assert "E-daily" in ratios
+        assert ratios["E-daily"] > 1.0
+        assert overheads["E-daily"] >= 0.9
+
+    def test_elapsed_recorded(self, report):
+        assert report.elapsed_seconds > 0
+
+    def test_render_contains_everything(self, report):
+        text = report.render()
+        for marker in ("SEER reproduction report", "Table 3", "Table 4",
+                       "Table 5", "Figure 2", "Figure 3", "LRU/SEER"):
+            assert marker in text
+
+    def test_progress_callback(self):
+        messages = []
+        run_reproduction(machines=["E"], days=5.0, include_live=False,
+                         progress=messages.append)
+        assert messages and "machine E" in messages[0]
+
+    def test_investigator_machines_get_extra_runs(self):
+        report = run_reproduction(machines=["B"], days=10.0,
+                                  include_live=False,
+                                  include_investigators=True)
+        assert len(report.missfree) == 4   # plain + investigators, 2 windows
+        assert sum(1 for r in report.missfree if r.use_investigators) == 2

@@ -1,0 +1,140 @@
+"""Tests for table and figure renderers."""
+
+import pytest
+
+from repro.analysis import (
+    render_figure2,
+    render_figure3,
+    render_table1,
+    render_table3,
+    render_table4,
+    render_table5,
+)
+from repro.core.hoard import MissSeverity
+from repro.simulation.live import (
+    DisconnectionOutcome,
+    LiveResult,
+    RecordedMiss,
+)
+from repro.simulation.missfree import MissFreeResult, WindowResult
+from repro.workload.sessions import HOUR, Period, PeriodKind
+
+MB = 1024 * 1024
+
+
+def make_live_result(machine="F", misses=True):
+    result = LiveResult(machine=machine, hoard_budget=2 * MB)
+    for index in range(5):
+        period = Period(PeriodKind.DISCONNECTED, index * 10 * HOUR,
+                        (index * 10 + 3) * HOUR)
+        outcome = DisconnectionOutcome(period=period, active_hours=3.0,
+                                       hoard_bytes=MB)
+        if misses and index == 0:
+            outcome.manual_misses.append(RecordedMiss(
+                path="/p/f", time=period.start + HOUR, active_hours_in=1.0,
+                severity=MissSeverity.TASK_CHANGED, automatic=False))
+            outcome.automatic_misses.append(RecordedMiss(
+                path="/p/f", time=period.start + HOUR, active_hours_in=1.0,
+                severity=None, automatic=True))
+        result.outcomes.append(outcome)
+    return result
+
+
+def make_missfree_result(machine="F", window=7 * 86400.0, investigators=False):
+    result = MissFreeResult(machine, window, investigators, seed=0)
+    for index in range(4):
+        ws = (index + 1) * MB
+        result.windows.append(WindowResult(
+            index=index, start=index * window, end=(index + 1) * window,
+            referenced_files=10 * (index + 1),
+            working_set_bytes=ws, seer_bytes=int(ws * 1.1),
+            lru_bytes=ws * 3, uncoverable_files=0))
+    return result
+
+
+class TestTable1:
+    def test_static_rules(self):
+        text = render_table1()
+        assert "kn <= x" in text
+        assert "No action" in text
+
+
+class TestTable3:
+    def test_row_per_machine(self):
+        text = render_table3([make_live_result("A"), make_live_result("B")])
+        assert "A" in text and "B" in text
+        assert "Mean" in text
+
+    def test_statistics_present(self):
+        text = render_table3([make_live_result()])
+        assert "3.00" in text   # each disconnection lasts 3 hours
+
+
+class TestTable4:
+    def test_failed_machine_listed(self):
+        text = render_table4([make_live_result("F")])
+        assert "F" in text
+        assert "2.00" in text   # hoard budget in MB
+
+    def test_all_zero_rows_omitted(self):
+        text = render_table4([make_live_result("A", misses=False)])
+        assert "(no failed disconnections)" in text
+
+    def test_mixed(self):
+        text = render_table4([make_live_result("F", misses=True),
+                              make_live_result("A", misses=False)])
+        lines = [l for l in text.splitlines() if l and l[0] in "AF"]
+        assert len(lines) == 1 and lines[0].startswith("F")
+
+
+class TestTable5:
+    def test_severity_rows(self):
+        text = render_table5([make_live_result()])
+        assert "1" in text       # severity 1 row
+        assert "Auto" in text
+
+    def test_median_omitted_for_few_samples(self):
+        text = render_table5([make_live_result()])
+        assert "--" in text      # < 4 samples
+
+    def test_no_misses(self):
+        text = render_table5([make_live_result(misses=False)])
+        assert "(no misses)" in text
+
+
+class TestFigure2:
+    def test_bars_rendered(self):
+        text = render_figure2([make_missfree_result()])
+        assert "Figure 2" in text
+        assert "#" in text and "L" in text
+
+    def test_investigator_star(self):
+        text = render_figure2([make_missfree_result(investigators=True)])
+        assert "F*" in text
+
+    def test_multiple_seeds_aggregated(self):
+        results = [make_missfree_result(), make_missfree_result()]
+        text = render_figure2(results)
+        assert text.count("F  weekly") == 1
+
+    def test_daily_and_weekly_labelled(self):
+        results = [make_missfree_result(window=86400.0),
+                   make_missfree_result(window=7 * 86400.0)]
+        text = render_figure2(results)
+        assert "daily" in text and "weekly" in text
+
+
+class TestFigure3:
+    def test_sorted_by_working_set(self):
+        result = make_missfree_result()
+        result.windows.reverse()   # give it unsorted input
+        text = render_figure3(result)
+        ws_values = [float(line.split()[1]) for line in text.splitlines()[2:]]
+        assert ws_values == sorted(ws_values)
+
+    def test_empty(self):
+        empty = MissFreeResult("F", 86400.0, False, 0)
+        assert "(no windows)" in render_figure3(empty)
+
+    def test_machine_in_title(self):
+        assert "machine F" in render_figure3(make_missfree_result())

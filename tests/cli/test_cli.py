@@ -1,0 +1,72 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import _coerce, build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_unknown_machine_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["missfree", "Z"])
+
+    def test_coerce(self):
+        assert _coerce("10") == 10 and isinstance(_coerce("10"), int)
+        assert _coerce("0.5") == 0.5
+        assert _coerce("abc") == "abc"
+
+
+class TestCommands:
+    def test_generate_and_stats(self, tmp_path, capsys):
+        out = str(tmp_path / "trace.txt")
+        assert main(["generate", "E", "--days", "5", "-o", out]) == 0
+        generated = capsys.readouterr().out
+        assert "wrote" in generated
+        assert main(["stats", out]) == 0
+        stats = capsys.readouterr().out
+        assert "operations:" in stats
+
+    def test_missfree(self, capsys):
+        assert main(["missfree", "E", "--days", "7"]) == 0
+        out = capsys.readouterr().out
+        assert "SEER" in out and "LRU" in out
+
+    def test_missfree_with_spy_and_figure3(self, capsys):
+        assert main(["missfree", "E", "--days", "7", "--weekly",
+                     "--spy", "--figure3"]) == 0
+        out = capsys.readouterr().out
+        assert "SPY UTILITY" in out
+        assert "Figure 3" in out
+
+    def test_live(self, capsys):
+        assert main(["live", "E", "--days", "10"]) == 0
+        out = capsys.readouterr().out
+        assert "Table 3" in out and "Table 4" in out and "Table 5" in out
+
+    def test_figure2(self, capsys):
+        assert main(["figure2", "--machines", "E", "--days", "7"]) == 0
+        out = capsys.readouterr().out
+        assert "Figure 2" in out
+
+    def test_sweep(self, capsys):
+        assert main(["sweep", "E", "--days", "7",
+                     "--parameter", "kf_fraction",
+                     "--values", "0.45", "0.55"]) == 0
+        out = capsys.readouterr().out
+        assert "best:" in out
+
+    def test_report_with_exports(self, tmp_path, capsys):
+        json_path = str(tmp_path / "out.json")
+        csv_path = str(tmp_path / "out.csv")
+        assert main(["report", "--machines", "E", "--days", "7",
+                     "--json", json_path, "--csv", csv_path]) == 0
+        out = capsys.readouterr().out
+        assert "SEER reproduction report" in out
+        import json as _json
+        rows = _json.load(open(json_path))
+        assert any(row.get("machine") == "E" for row in rows)
+        assert "machine" in open(csv_path).readline()

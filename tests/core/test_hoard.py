@@ -1,0 +1,215 @@
+"""Tests for hoard management and miss accounting (sections 2 and 4.4)."""
+
+import pytest
+
+from repro.core.clustering import ClusterSet
+from repro.core.hoard import (
+    HoardManager,
+    MissLog,
+    MissSeverity,
+    rank_clusters,
+)
+
+
+def make_clusters(*groups):
+    clusters = ClusterSet()
+    ids = [clusters.new_cluster(group) for group in groups]
+    return clusters, ids
+
+
+def sizes_of(mapping):
+    return lambda path: mapping.get(path, 0)
+
+
+@pytest.fixture
+def manager():
+    return HoardManager()
+
+
+class TestRankClusters:
+    def test_most_recent_first(self):
+        clusters, (old, new) = make_clusters(["a", "b"], ["x", "y"])
+        recency = {"a": 1, "b": 2, "x": 10, "y": 5}
+        assert rank_clusters(clusters, recency) == [new, old]
+
+    def test_activity_ignores_single_stray_reference(self):
+        # A one-off browse of one member must not make a whole dormant
+        # project "active": activity is the ACTIVITY_DEPTH-th most
+        # recent member reference.
+        clusters, (dormant, active) = make_clusters(
+            ["d1", "d2", "d3", "d4"], ["x1", "x2", "x3"])
+        recency = {"d1": 100, "d2": 1, "d3": 1, "d4": 1,   # one stray touch
+                   "x1": 50, "x2": 49, "x3": 48}           # truly active
+        assert rank_clusters(clusters, recency) == [active, dormant]
+
+    def test_small_clusters_rank_by_oldest_member(self):
+        clusters, (pair, single) = make_clusters(["a", "b"], ["x"])
+        recency = {"a": 100, "b": 90, "x": 95}
+        # pair activity = min(its 2 members) = 90; singleton = 95.
+        assert rank_clusters(clusters, recency) == [single, pair]
+
+    def test_tie_broken_toward_smaller(self):
+        clusters, (big, small) = make_clusters(["a", "b", "c"], ["x"])
+        recency = {"a": 5, "x": 5}
+        assert rank_clusters(clusters, recency) == [small, big]
+
+    def test_unreferenced_clusters_last(self):
+        clusters, (seen, unseen) = make_clusters(["a"], ["z"])
+        recency = {"a": 1}
+        assert rank_clusters(clusters, recency) == [seen, unseen]
+
+
+class TestBuildHoard:
+    def test_fits_within_budget(self, manager):
+        clusters, _ = make_clusters(["a", "b"], ["x", "y"])
+        sizes = sizes_of({"a": 10, "b": 10, "x": 10, "y": 10})
+        selection = manager.build(clusters, sizes, {"a": 2, "x": 1}, budget=25)
+        assert selection.files == {"a", "b"}
+        assert selection.total_bytes == 20
+
+    def test_whole_projects_only(self, manager):
+        # A project that does not fit is skipped entirely, never split.
+        clusters, (big, small) = make_clusters(["a", "b", "c"], ["x"])
+        sizes = sizes_of({"a": 40, "b": 40, "c": 40, "x": 10})
+        selection = manager.build(clusters, sizes, {"a": 10, "x": 1}, budget=50)
+        assert selection.files == {"x"}
+        assert big in selection.clusters_skipped
+        assert small in selection.clusters_included
+
+    def test_overlapping_clusters_charged_once(self, manager):
+        clusters, _ = make_clusters(["shared", "a"], ["shared", "b"])
+        sizes = sizes_of({"shared": 10, "a": 5, "b": 5})
+        selection = manager.build(clusters, sizes, {"a": 2, "b": 1}, budget=100)
+        assert selection.total_bytes == 20  # shared counted once
+
+    def test_always_hoard_charged_first(self, manager):
+        clusters, _ = make_clusters(["a"])
+        sizes = sizes_of({"a": 10, "/lib/libc.so": 30})
+        selection = manager.build(clusters, sizes, {"a": 1}, budget=35,
+                                  always_hoard=["/lib/libc.so"])
+        assert "/lib/libc.so" in selection.files
+        assert "a" not in selection.files  # no room left for the project
+
+    def test_always_hoard_even_over_budget(self, manager):
+        clusters, _ = make_clusters(["a"])
+        sizes = sizes_of({"/lib/libc.so": 100})
+        selection = manager.build(clusters, sizes, {}, budget=10,
+                                  always_hoard=["/lib/libc.so"])
+        assert "/lib/libc.so" in selection.files
+
+    def test_contains_and_utilization(self, manager):
+        clusters, _ = make_clusters(["a"])
+        selection = manager.build(clusters, sizes_of({"a": 50}), {"a": 1},
+                                  budget=100)
+        assert "a" in selection
+        assert selection.utilization == pytest.approx(0.5)
+
+    def test_zero_budget(self, manager):
+        clusters, _ = make_clusters(["a"])
+        selection = manager.build(clusters, sizes_of({"a": 1}), {"a": 1}, budget=0)
+        assert selection.files == set()
+        assert selection.utilization == 0.0
+
+
+class TestMissFreeSize:
+    def test_covers_needed_files(self, manager):
+        clusters, _ = make_clusters(["a", "b"], ["x", "y"])
+        sizes = sizes_of({"a": 10, "b": 10, "x": 20, "y": 20})
+        recency = {"a": 10, "x": 1}
+        size, uncoverable = manager.miss_free_size(
+            clusters, sizes, recency, needed={"a"})
+        assert size == 20   # only the first project
+        assert uncoverable == set()
+
+    def test_needs_second_project(self, manager):
+        clusters, _ = make_clusters(["a", "b"], ["x", "y"])
+        sizes = sizes_of({"a": 10, "b": 10, "x": 20, "y": 20})
+        recency = {"a": 10, "x": 1}
+        size, _ = manager.miss_free_size(clusters, sizes, recency,
+                                         needed={"a", "x"})
+        assert size == 60   # both projects
+
+    def test_unknown_files_uncoverable(self, manager):
+        clusters, _ = make_clusters(["a"])
+        size, uncoverable = manager.miss_free_size(
+            clusters, sizes_of({"a": 10}), {"a": 1}, needed={"a", "/never/seen"})
+        assert uncoverable == {"/never/seen"}
+        assert size == 10
+
+    def test_empty_needed_set(self, manager):
+        clusters, _ = make_clusters(["a"])
+        size, uncoverable = manager.miss_free_size(
+            clusters, sizes_of({"a": 10}), {"a": 1}, needed=set())
+        assert size == 0
+        assert uncoverable == set()
+
+    def test_always_hoard_included_in_size(self, manager):
+        clusters, _ = make_clusters(["a"])
+        sizes = sizes_of({"a": 10, "/lib/x": 7})
+        size, _ = manager.miss_free_size(clusters, sizes, {"a": 1},
+                                         needed={"a"}, always_hoard=["/lib/x"])
+        assert size == 17
+
+    def test_needed_satisfied_by_always_hoard(self, manager):
+        clusters, _ = make_clusters(["a"])
+        sizes = sizes_of({"a": 10, "/lib/x": 7})
+        size, uncoverable = manager.miss_free_size(
+            clusters, sizes, {"a": 1}, needed={"/lib/x"},
+            always_hoard=["/lib/x"])
+        assert size == 7      # no project needed at all
+        assert uncoverable == set()
+
+
+class TestMissLog:
+    def test_manual_miss_recorded(self):
+        log = MissLog()
+        log.record_manual("/f", time=10.0, severity=MissSeverity.TASK_CHANGED)
+        assert len(log) == 1
+        assert log.misses[0].severity is MissSeverity.TASK_CHANGED
+        assert not log.misses[0].automatic
+
+    def test_automatic_miss_has_no_severity(self):
+        log = MissLog()
+        log.record_automatic("/f", time=5.0)
+        assert log.misses[0].automatic
+        assert log.misses[0].severity is None
+
+    def test_by_severity(self):
+        log = MissLog()
+        log.record_manual("/a", 1.0, MissSeverity.LITTLE_TROUBLE)
+        log.record_manual("/b", 2.0, MissSeverity.LITTLE_TROUBLE)
+        log.record_manual("/c", 3.0, MissSeverity.PRELOAD_ONLY)
+        assert len(log.by_severity(MissSeverity.LITTLE_TROUBLE)) == 2
+
+    def test_first_miss_time(self):
+        log = MissLog()
+        assert log.first_miss_time() is None
+        log.record_manual("/a", 7.5, MissSeverity.PRELOAD_ONLY)
+        log.record_automatic("/b", 2.5)
+        assert log.first_miss_time() == 2.5
+
+    def test_paths_to_hoard(self):
+        # The same user action records the miss and arranges hoarding.
+        log = MissLog()
+        log.record_manual("/a", 1.0, MissSeverity.TASK_CHANGED)
+        log.record_automatic("/b", 2.0)
+        assert log.paths_to_hoard() == {"/a", "/b"}
+
+    def test_manual_misses_filtered(self):
+        log = MissLog()
+        log.record_manual("/a", 1.0, MissSeverity.TASK_CHANGED)
+        log.record_automatic("/b", 2.0)
+        assert [m.path for m in log.manual_misses()] == ["/a"]
+
+    def test_clear(self):
+        log = MissLog()
+        log.record_automatic("/b", 2.0)
+        log.clear()
+        assert len(log) == 0
+
+    def test_severity_scale_matches_paper(self):
+        assert MissSeverity.COMPUTER_UNUSABLE == 0
+        assert MissSeverity.TASK_CHANGED == 1
+        assert MissSeverity.ACTIVITY_MODIFIED == 2
+        assert MissSeverity.LITTLE_TROUBLE == 3
+        assert MissSeverity.PRELOAD_ONLY == 4

@@ -1,0 +1,93 @@
+"""Property-based tests for the hoard manager's invariants."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.clustering import ClusterSet
+from repro.core.hoard import HoardManager
+
+_FILES = [f"f{i}" for i in range(12)]
+
+_cluster_spec = st.lists(
+    st.lists(st.sampled_from(_FILES), min_size=1, max_size=5),
+    min_size=1, max_size=6)
+_recency_spec = st.dictionaries(st.sampled_from(_FILES),
+                                st.integers(min_value=0, max_value=1000))
+_sizes_spec = st.dictionaries(st.sampled_from(_FILES),
+                              st.integers(min_value=1, max_value=100))
+
+
+def build(groups):
+    clusters = ClusterSet()
+    for group in groups:
+        clusters.new_cluster(group)
+    return clusters
+
+
+@settings(max_examples=60, deadline=None)
+@given(_cluster_spec, _recency_spec, _sizes_spec,
+       st.integers(min_value=0, max_value=500))
+def test_build_never_exceeds_budget_without_always(groups, recency, sizes, budget):
+    manager = HoardManager()
+    selection = manager.build(build(groups), lambda p: sizes.get(p, 10),
+                              recency, budget)
+    assert selection.total_bytes <= budget
+
+
+@settings(max_examples=60, deadline=None)
+@given(_cluster_spec, _recency_spec, _sizes_spec)
+def test_included_clusters_fully_present(groups, recency, sizes):
+    manager = HoardManager()
+    clusters = build(groups)
+    selection = manager.build(clusters, lambda p: sizes.get(p, 10),
+                              recency, budget=10_000)
+    for cluster_id in selection.clusters_included:
+        assert clusters.members(cluster_id) <= selection.files
+
+
+@settings(max_examples=60, deadline=None)
+@given(_cluster_spec, _recency_spec, _sizes_spec,
+       st.sets(st.sampled_from(_FILES)))
+def test_miss_free_hoard_is_actually_miss_free(groups, recency, sizes, needed):
+    """Building a hoard with budget == miss_free_size covers needed."""
+    manager = HoardManager()
+    clusters = build(groups)
+    size_fn = lambda p: sizes.get(p, 10)
+    size, uncoverable = manager.miss_free_size(clusters, size_fn, recency,
+                                               set(needed))
+    selection = manager.build(clusters, size_fn, recency, budget=size)
+    coverable = needed - uncoverable
+    # The prefix property: at exactly the miss-free budget the ranked
+    # prefix fits, so everything coverable is hoarded.
+    assert coverable <= selection.files
+
+
+@settings(max_examples=60, deadline=None)
+@given(_cluster_spec, _recency_spec, _sizes_spec,
+       st.sets(st.sampled_from(_FILES)), st.sets(st.sampled_from(_FILES)))
+def test_miss_free_size_monotone_in_needed(groups, recency, sizes,
+                                           needed_a, needed_b):
+    """Needing more files never costs less."""
+    manager = HoardManager()
+    clusters = build(groups)
+    size_fn = lambda p: sizes.get(p, 10)
+    small, _ = manager.miss_free_size(clusters, size_fn, recency,
+                                      set(needed_a))
+    big, _ = manager.miss_free_size(clusters, size_fn, recency,
+                                    set(needed_a) | set(needed_b))
+    assert big >= small
+
+
+@settings(max_examples=60, deadline=None)
+@given(_cluster_spec, _recency_spec, _sizes_spec,
+       st.integers(min_value=0, max_value=300),
+       st.integers(min_value=0, max_value=300))
+def test_build_monotone_in_budget(groups, recency, sizes, budget_a, budget_b):
+    """A bigger budget never hoards fewer bytes."""
+    manager = HoardManager()
+    clusters = build(groups)
+    size_fn = lambda p: sizes.get(p, 10)
+    low, high = sorted((budget_a, budget_b))
+    small = manager.build(clusters, size_fn, recency, budget=low)
+    big = manager.build(clusters, size_fn, recency, budget=high)
+    assert big.total_bytes >= small.total_bytes

@@ -1,0 +1,88 @@
+"""Tests for database persistence (paper section 5.3)."""
+
+import pytest
+
+from repro.core.correlator import Action, Correlator, ObservedReference
+from repro.core.parameters import SeerParameters
+from repro.core.persistence import (
+    dump_correlator,
+    load_correlator,
+    load_database,
+    save_database,
+)
+
+
+def populate(correlator):
+    seq = 0
+    for burst in range(20):
+        for path in ("/p/a", "/p/b", "/p/c"):
+            seq += 1
+            correlator.handle(ObservedReference(
+                seq=seq, time=float(seq), pid=1, action=Action.POINT,
+                path=path))
+    return correlator
+
+
+@pytest.fixture
+def correlator():
+    return populate(Correlator(SeerParameters()))
+
+
+class TestRoundTrip:
+    def test_tables_preserved(self, correlator):
+        restored = load_correlator(dump_correlator(correlator))
+        for file in correlator.store.files():
+            original = correlator.store.get(file)
+            copy = restored.store.get(file)
+            assert copy is not None
+            assert copy.neighbors() == original.neighbors()
+            for neighbor in original.neighbors():
+                assert copy.distance_to(neighbor) == pytest.approx(
+                    original.distance_to(neighbor))
+
+    def test_recency_preserved(self, correlator):
+        restored = load_correlator(dump_correlator(correlator))
+        assert restored.recency() == correlator.recency()
+        assert restored.recency_times() == correlator.recency_times()
+
+    def test_counters_preserved(self, correlator):
+        restored = load_correlator(dump_correlator(correlator))
+        assert restored.references_processed == correlator.references_processed
+        assert restored._reference_counter == correlator._reference_counter
+
+    def test_clusters_identical_after_reload(self, correlator):
+        before = set(correlator.build_clusters().as_sets())
+        restored = load_correlator(dump_correlator(correlator))
+        after = set(restored.build_clusters().as_sets())
+        assert before == after
+
+    def test_restored_correlator_keeps_learning(self, correlator):
+        restored = load_correlator(dump_correlator(correlator))
+        seq = restored.references_processed
+        restored.handle(ObservedReference(
+            seq=seq + 1, time=1000.0, pid=9, action=Action.POINT, path="/new"))
+        assert "/new" in restored.known_files()
+
+    def test_deletion_marks_preserved(self, correlator):
+        correlator.store.marked_for_deletion.add("/p/a")
+        restored = load_correlator(dump_correlator(correlator))
+        assert "/p/a" in restored.store.marked_for_deletion
+
+
+class TestFiles:
+    def test_save_and_load_file(self, correlator, tmp_path):
+        path = str(tmp_path / "seer.db")
+        save_database(correlator, path)
+        restored = load_database(path)
+        assert restored.recency() == correlator.recency()
+
+    def test_bad_format_rejected(self):
+        with pytest.raises(ValueError):
+            load_correlator({"format": 999})
+
+    def test_custom_parameters_used(self, correlator, tmp_path):
+        path = str(tmp_path / "seer.db")
+        save_database(correlator, path)
+        params = SeerParameters(max_neighbors=7)
+        restored = load_database(path, parameters=params)
+        assert restored.parameters.max_neighbors == 7

@@ -1,0 +1,207 @@
+"""Integration tests for the Seer facade: kernel -> hoard."""
+
+import pytest
+
+from repro.core import MissSeverity, Relation, Seer, SeerParameters
+from repro.fs import FileKind
+from repro.kernel import Kernel
+
+
+def small_params(**overrides):
+    defaults = dict(frequent_file_minimum_accesses=10_000)
+    defaults.update(overrides)
+    return SeerParameters(**defaults)
+
+
+@pytest.fixture
+def world():
+    kernel = Kernel()
+    fs = kernel.fs
+    fs.mkdir("/home/u/code", parents=True)
+    fs.mkdir("/home/u/paper", parents=True)
+    fs.mkdir("/bin", parents=True)
+    fs.mkdir("/dev", parents=True)
+    fs.create("/bin/cc", size=40_000)
+    fs.create("/bin/vi", size=30_000)
+    fs.create("/dev/console", kind=FileKind.DEVICE)
+    for name in ("main.c", "util.c", "defs.h"):
+        fs.create(f"/home/u/code/{name}", size=2_000)
+    for name in ("paper.tex", "refs.bib"):
+        fs.create(f"/home/u/paper/{name}", size=5_000)
+    seer = Seer(kernel, parameters=small_params())
+    user = kernel.processes.spawn(ppid=1, program="bash", uid=1000,
+                                  cwd="/home/u")
+    return kernel, seer, user
+
+
+def work_on_code(kernel, user, repetitions=20):
+    for _ in range(repetitions):
+        editor = kernel.spawn(user, "/bin/vi")
+        fd = kernel.open(editor, "/home/u/code/main.c", write=True)
+        kernel.close(editor, fd)
+        kernel.exit(editor)
+        compiler = kernel.spawn(user, "/bin/cc")
+        for name in ("main.c", "util.c", "defs.h"):
+            fd = kernel.open(compiler, f"/home/u/code/{name}")
+            kernel.close(compiler, fd)
+        kernel.exit(compiler)
+        kernel.clock.advance(60)
+
+
+def work_on_paper(kernel, user, repetitions=20):
+    for _ in range(repetitions):
+        editor = kernel.spawn(user, "/bin/vi")
+        for name in ("paper.tex", "refs.bib"):
+            fd = kernel.open(editor, f"/home/u/paper/{name}")
+            kernel.close(editor, fd)
+        kernel.exit(editor)
+        kernel.clock.advance(60)
+
+
+class TestEndToEnd:
+    def test_projects_cluster_separately(self, world):
+        kernel, seer, user = world
+        work_on_code(kernel, user)
+        work_on_paper(kernel, user)
+        clusters = seer.build_clusters()
+        assert clusters.same_cluster("/home/u/code/main.c", "/home/u/code/util.c")
+        assert clusters.same_cluster("/home/u/paper/paper.tex", "/home/u/paper/refs.bib")
+        assert not clusters.same_cluster("/home/u/code/main.c",
+                                         "/home/u/paper/paper.tex")
+
+    def test_hoard_prefers_active_project(self, world):
+        kernel, seer, user = world
+        work_on_code(kernel, user)
+        work_on_paper(kernel, user)   # paper most recent
+        # Budget fits the paper project (+editor) but not everything.
+        selection = seer.build_hoard(budget=45_000)
+        assert "/home/u/paper/paper.tex" in selection
+        assert "/home/u/paper/refs.bib" in selection
+
+    def test_hoard_fits_budget(self, world):
+        kernel, seer, user = world
+        work_on_code(kernel, user)
+        budget = 50_000
+        selection = seer.build_hoard(budget=budget)
+        assert selection.total_bytes <= budget
+
+    def test_big_budget_hoards_everything_touched(self, world):
+        kernel, seer, user = world
+        work_on_code(kernel, user)
+        work_on_paper(kernel, user)
+        selection = seer.build_hoard(budget=10**9)
+        for path in ("/home/u/code/main.c", "/home/u/paper/paper.tex",
+                     "/bin/cc", "/bin/vi"):
+            assert path in selection
+
+    def test_whole_project_hoarded_together(self, world):
+        kernel, seer, user = world
+        work_on_code(kernel, user)
+        selection = seer.build_hoard(budget=10**9)
+        project = {"/home/u/code/main.c", "/home/u/code/util.c",
+                   "/home/u/code/defs.h"}
+        assert project <= selection.files
+
+
+class TestMissDetection:
+    def test_automatic_miss_recorded_when_disconnected(self, world):
+        kernel, seer, user = world
+        work_on_code(kernel, user)
+        work_on_paper(kernel, user)
+        seer.build_hoard(budget=45_000)   # paper project only
+        seer.disconnect()
+        # Simulate the miss: the code file exists remotely but not in
+        # the hoard; locally the open fails.
+        kernel.fs.unlink("/home/u/code/main.c")
+        kernel.open(user, "/home/u/code/main.c")
+        assert len(seer.miss_log) == 1
+        assert seer.miss_log.misses[0].automatic
+
+    def test_no_miss_when_connected(self, world):
+        kernel, seer, user = world
+        work_on_code(kernel, user)
+        seer.build_hoard(budget=45_000)
+        kernel.fs.unlink("/home/u/code/main.c")
+        kernel.open(user, "/home/u/code/main.c")
+        assert len(seer.miss_log) == 0
+
+    def test_no_miss_for_hoarded_file(self, world):
+        kernel, seer, user = world
+        work_on_code(kernel, user)
+        seer.build_hoard(budget=10**9)
+        seer.disconnect()
+        kernel.open(user, "/home/u/code/nonexistent.c")  # never known
+        assert len(seer.miss_log) == 0
+
+    def test_manual_miss_feeds_next_hoard(self, world):
+        kernel, seer, user = world
+        work_on_code(kernel, user)
+        seer.build_hoard(budget=45_000)
+        seer.record_manual_miss("/home/u/code/main.c", time=100.0,
+                                severity=MissSeverity.TASK_CHANGED)
+        assert "/home/u/code/main.c" in seer.always_hoard_paths()
+
+
+class TestInvestigatorIntegration:
+    def test_investigators_contribute_relations(self, world):
+        kernel, seer, user = world
+
+        class StubInvestigator:
+            def investigate(self):
+                return [Relation(files=("/x", "/y"), strength=100.0)]
+
+        seer._investigators.append(StubInvestigator())
+        clusters = seer.build_clusters()
+        assert clusters.same_cluster("/x", "/y")
+
+
+class TestSizeFunction:
+    def test_sizes_from_filesystem(self, world):
+        kernel, seer, user = world
+        sizes = seer.size_function()
+        assert sizes("/bin/cc") == 40_000
+
+    def test_nonfile_takes_no_space(self, world):
+        kernel, seer, user = world
+        sizes = seer.size_function()
+        assert sizes("/dev/console") == 0
+
+    def test_fallback_for_missing(self, world):
+        kernel, seer, user = world
+        sizes = seer.size_function(fallback=lambda path: 1234)
+        assert sizes("/gone/away") == 1234
+
+    def test_missing_without_fallback_is_zero(self, world):
+        kernel, seer, user = world
+        assert seer.size_function()("/gone/away") == 0
+
+
+class TestPeriodicRefill:
+    def test_refill_happens_on_interval(self, world):
+        kernel, seer, user = world
+        seer.enable_periodic_refill(interval_seconds=300.0, budget=10**9)
+        work_on_code(kernel, user, repetitions=30)   # clock advances ~60s/rep
+        assert seer.refills_performed >= 1
+        assert seer.current_hoard is not None
+        assert "/home/u/code/main.c" in seer.current_hoard
+
+    def test_no_refill_while_disconnected(self, world):
+        kernel, seer, user = world
+        seer.enable_periodic_refill(interval_seconds=1.0, budget=10**9)
+        seer.disconnect()
+        before = seer.refills_performed
+        work_on_code(kernel, user, repetitions=5)
+        assert seer.refills_performed == before
+
+    def test_disable(self, world):
+        kernel, seer, user = world
+        seer.enable_periodic_refill(interval_seconds=1.0, budget=10**9)
+        seer.disable_periodic_refill()
+        work_on_code(kernel, user, repetitions=5)
+        assert seer.refills_performed == 0
+
+    def test_invalid_interval_rejected(self, world):
+        kernel, seer, user = world
+        import pytest as _pytest
+        with _pytest.raises(ValueError):
+            seer.enable_periodic_refill(interval_seconds=0, budget=1)

@@ -1,0 +1,92 @@
+"""Tests for directory reorganization (paper section 7)."""
+
+import pytest
+
+from repro.core.clustering import ClusterSet
+from repro.extensions.reorganize import (
+    cluster_home,
+    misplacement_score,
+    propose_reorganization,
+)
+
+
+def clusters_of(*groups):
+    clusters = ClusterSet()
+    for group in groups:
+        clusters.new_cluster(group)
+    return clusters
+
+
+class TestClusterHome:
+    def test_plurality_directory(self):
+        assert cluster_home({"/p/a", "/p/b", "/q/c"}) == "/p"
+
+    def test_tie_broken_lexicographically(self):
+        assert cluster_home({"/a/x", "/b/y"}) == "/a"
+
+    def test_empty(self):
+        assert cluster_home(set()) is None
+
+
+class TestMisplacementScore:
+    def test_perfect_tree_scores_zero(self):
+        clusters = clusters_of(["/p/a", "/p/b"], ["/q/x", "/q/y"])
+        assert misplacement_score(clusters) == 0.0
+
+    def test_scattered_cluster_scores_high(self):
+        clusters = clusters_of(["/p/a", "/q/b", "/r/c"])
+        assert misplacement_score(clusters) == pytest.approx(2 / 3)
+
+    def test_singletons_ignored(self):
+        clusters = clusters_of(["/p/a"], ["/anywhere/else"])
+        assert misplacement_score(clusters) == 0.0
+
+    def test_protected_prefixes_excluded(self):
+        clusters = clusters_of(["/p/a", "/p/b", "/bin/cc"])
+        assert misplacement_score(clusters) == 0.0
+
+    def test_no_clusters(self):
+        assert misplacement_score(ClusterSet()) == 0.0
+
+
+class TestProposeReorganization:
+    def test_misplaced_file_moved_home(self):
+        clusters = clusters_of(["/p/a", "/p/b", "/scattered/c"])
+        plan = propose_reorganization(clusters)
+        assert len(plan.moves) == 1
+        move = plan.moves[0]
+        assert move.source == "/scattered/c"
+        assert move.destination == "/p"
+        assert move.destination_path == "/p/c"
+
+    def test_plan_improves_score(self):
+        clusters = clusters_of(["/p/a", "/p/b", "/scattered/c"])
+        plan = propose_reorganization(clusters)
+        assert plan.score_before > plan.score_after
+        assert plan.score_after == 0.0
+        assert plan.improvement == pytest.approx(plan.score_before)
+
+    def test_perfect_tree_no_moves(self):
+        clusters = clusters_of(["/p/a", "/p/b"])
+        plan = propose_reorganization(clusters)
+        assert plan.moves == []
+        assert plan.score_before == plan.score_after == 0.0
+
+    def test_system_files_never_moved(self):
+        clusters = clusters_of(["/p/a", "/p/b", "/bin/cc"])
+        plan = propose_reorganization(clusters)
+        assert all(move.source != "/bin/cc" for move in plan.moves)
+
+    def test_shared_file_anchored_to_tightest_cluster(self):
+        # /shared/h is in a 3-member and a 4-member cluster; the
+        # tighter (smaller) cluster decides where it belongs.
+        clusters = clusters_of(["/small/a", "/small/b", "/shared/h"],
+                               ["/big/x", "/big/y", "/big/z", "/shared/h"])
+        plan = propose_reorganization(clusters)
+        destinations = {move.source: move.destination for move in plan.moves}
+        assert destinations.get("/shared/h") == "/small"
+
+    def test_homes_recorded(self):
+        clusters = clusters_of(["/p/a", "/p/b"])
+        plan = propose_reorganization(clusters)
+        assert "/p" in plan.homes.values()

@@ -1,0 +1,141 @@
+"""Tests for the Web-caching application (paper section 7)."""
+
+import pytest
+
+from repro.extensions.webcache import (
+    BrowsingWorkload,
+    LruWebCache,
+    PrefetchingWebCache,
+    UrlRequest,
+    WebCorrelator,
+    simulate_web_caching,
+    url_to_path,
+)
+
+
+class TestUrlToPath:
+    def test_scheme_stripped(self):
+        assert url_to_path("http://site/docs/x.html") == "/site/docs/x.html"
+
+    def test_schemeless(self):
+        assert url_to_path("site/docs/x.html") == "/site/docs/x.html"
+
+    def test_trailing_slash(self):
+        assert url_to_path("http://site/") == "/site"
+
+
+class TestWebCorrelator:
+    def _browse(self, web, urls, client=1, start=0.0):
+        for index, url in enumerate(urls):
+            web.observe(UrlRequest(time=start + index, client=client, url=url))
+
+    def test_site_pages_cluster(self):
+        web = WebCorrelator()
+        for repeat in range(20):
+            self._browse(web, [f"site-a/p{i}" for i in range(4)],
+                         start=repeat * 1000.0)
+            self._browse(web, [f"site-b/q{i}" for i in range(4)],
+                         start=repeat * 1000.0 + 500.0)
+        clusters = web.clusters()
+        assert clusters.same_cluster("/site-a/p0", "/site-a/p1")
+        assert clusters.same_cluster("/site-b/q0", "/site-b/q3")
+        assert not clusters.same_cluster("/site-a/p0", "/site-b/q0")
+
+    def test_cluster_mates_returns_urls(self):
+        web = WebCorrelator()
+        for repeat in range(20):
+            self._browse(web, ["site-a/p0", "site-a/p1", "site-a/p2"],
+                         start=repeat * 1000.0)
+        mates = web.cluster_mates("site-a/p0")
+        assert "site-a/p1" in mates
+        assert all(not mate.startswith("/") for mate in mates)
+
+    def test_clients_are_separate_streams(self):
+        web = WebCorrelator()
+        # Two clients interleave different sites: no cross links.
+        for repeat in range(20):
+            base = repeat * 1000.0
+            web.observe(UrlRequest(base + 0, 1, "site-a/p0"))
+            web.observe(UrlRequest(base + 1, 2, "site-b/q0"))
+            web.observe(UrlRequest(base + 2, 1, "site-a/p1"))
+            web.observe(UrlRequest(base + 3, 2, "site-b/q1"))
+        clusters = web.clusters()
+        assert not clusters.same_cluster("/site-a/p0", "/site-b/q0")
+
+
+class TestLruWebCache:
+    def test_hit_and_miss(self):
+        cache = LruWebCache(capacity=2)
+        assert not cache.request(UrlRequest(0, 1, "a"))
+        assert cache.request(UrlRequest(1, 1, "a"))
+        assert cache.result.hits == 1
+        assert cache.result.misses == 1
+
+    def test_eviction_lru_order(self):
+        cache = LruWebCache(capacity=2)
+        for url in ("a", "b", "c"):      # a evicted
+            cache.request(UrlRequest(0, 1, url))
+        assert "a" not in cache
+        assert "b" in cache and "c" in cache
+
+    def test_touch_refreshes(self):
+        cache = LruWebCache(capacity=2)
+        cache.request(UrlRequest(0, 1, "a"))
+        cache.request(UrlRequest(1, 1, "b"))
+        cache.request(UrlRequest(2, 1, "a"))   # refresh a
+        cache.request(UrlRequest(3, 1, "c"))   # evicts b
+        assert "a" in cache and "b" not in cache
+
+    def test_capacity_validated(self):
+        with pytest.raises(ValueError):
+            LruWebCache(capacity=0)
+
+
+class TestPrefetching:
+    def test_prefetch_improves_hit_rate(self):
+        workload = BrowsingWorkload(seed=3)
+        requests = workload.generate(250)
+        lru, prefetch = simulate_web_caching(requests, capacity=30)
+        assert prefetch.hit_rate > lru.hit_rate
+
+    def test_prefetched_hits_counted(self):
+        workload = BrowsingWorkload(seed=3)
+        requests = workload.generate(250)
+        _, prefetch = simulate_web_caching(requests, capacity=30)
+        assert prefetch.prefetches_issued > 0
+        assert prefetch.prefetched_hits > 0
+        assert 0.0 < prefetch.prefetch_accuracy <= 1.0
+
+    def test_capacity_still_respected(self):
+        workload = BrowsingWorkload(seed=3)
+        requests = workload.generate(100)
+        cache = PrefetchingWebCache(capacity=10)
+        for request in requests:
+            cache.request(request)
+        assert len(cache._pages) <= 10
+
+    def test_zero_history_no_prefetch_crash(self):
+        cache = PrefetchingWebCache(capacity=5)
+        assert not cache.request(UrlRequest(0, 1, "never/seen"))
+
+
+class TestBrowsingWorkload:
+    def test_visit_structure(self):
+        workload = BrowsingWorkload(n_sites=3, pages_per_site=5, seed=1)
+        requests = workload.generate(10)
+        assert requests
+        # Requests are time ordered.
+        times = [r.time for r in requests]
+        assert times == sorted(times)
+
+    def test_within_site_runs(self):
+        workload = BrowsingWorkload(n_sites=4, seed=2)
+        requests = workload.generate(5)
+        # Each visit starts at the site's entry page.
+        sites_seen = {r.url.split("/")[0] for r in requests}
+        assert sites_seen <= {f"site-{i}" for i in range(4)}
+
+    def test_deterministic(self):
+        a = BrowsingWorkload(seed=9).generate(20)
+        b = BrowsingWorkload(seed=9).generate(20)
+        assert [r.url for r in a] == [r.url for r in b]

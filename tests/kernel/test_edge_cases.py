@@ -1,0 +1,134 @@
+"""Edge-case coverage for the kernel and filesystem substrates."""
+
+import pytest
+
+from repro.fs import FileKind, FileSystem
+from repro.kernel import Kernel
+from repro.tracing import Operation
+
+
+@pytest.fixture
+def kernel():
+    k = Kernel()
+    k.fs.mkdir("/a/b/c", parents=True)
+    k.fs.create("/a/f", size=10)
+    return k
+
+
+@pytest.fixture
+def proc(kernel):
+    return kernel.processes.spawn(ppid=1, program="sh", uid=1000, cwd="/a")
+
+
+class TestKernelEdges:
+    def test_getcwd_at_root_emits_nothing(self, kernel):
+        process = kernel.processes.spawn(ppid=1, program="sh", cwd="/")
+        records = []
+        kernel.add_sink(records.append)
+        assert kernel.getcwd(process) == "/"
+        assert records == []
+
+    def test_write_to_unknown_fd(self, kernel, proc):
+        assert not kernel.write(proc, 99, size=10)
+
+    def test_double_close(self, kernel, proc):
+        fd = kernel.open(proc, "f")
+        assert kernel.close(proc, fd)
+        assert not kernel.close(proc, fd)
+
+    def test_open_with_create_overwrites(self, kernel, proc):
+        fd = kernel.open(proc, "f", create=True, size=77)
+        kernel.close(proc, fd)
+        assert kernel.fs.size_of("/a/f") == 77
+        assert kernel.fs.stat("/a/f").version == 1   # replaced
+
+    def test_readdir_on_nondir_fd(self, kernel, proc):
+        fd = kernel.open(proc, "f")
+        assert kernel.readdir(proc, fd) == []
+
+    def test_scandir_missing_directory(self, kernel, proc):
+        assert kernel.scandir(proc, "/nowhere") == []
+
+    def test_rename_onto_itself(self, kernel, proc):
+        assert kernel.rename(proc, "f", "f")
+        assert kernel.fs.exists("/a/f")
+
+    def test_unlink_then_open_fails(self, kernel, proc):
+        kernel.unlink(proc, "f")
+        assert kernel.open(proc, "f") == -1
+
+    def test_relative_dotdot_navigation(self, kernel, proc):
+        kernel.chdir(proc, "b/c")
+        assert proc.cwd == "/a/b/c"
+        kernel.chdir(proc, "../..")
+        assert proc.cwd == "/a"
+
+    def test_records_suppressed_counter(self, kernel):
+        root_proc = kernel.processes.spawn(ppid=1, uid=0)
+        before = kernel.records_suppressed
+        kernel.stat(root_proc, "/a/f")
+        assert kernel.records_suppressed == before + 1
+
+    def test_symlink_then_open_through_it(self, kernel, proc):
+        kernel.symlink(proc, "/a/f", "/a/link")
+        fd = kernel.open(proc, "/a/link")
+        assert fd >= 0
+
+    def test_fork_exec_exit_chain(self, kernel, proc):
+        kernel.fs.mkdir("/bin")
+        kernel.fs.create("/bin/x", size=1)
+        child = kernel.spawn(proc, "/bin/x")
+        grandchild = kernel.spawn(child, "/bin/x")
+        kernel.exit(grandchild)
+        kernel.exit(child)
+        assert not child.alive and not grandchild.alive
+        assert proc.alive
+
+
+class TestFilesystemEdges:
+    def test_walk_with_symlink_cycle_terminates(self):
+        fs = FileSystem()
+        fs.mkdir("/d")
+        fs.symlink("/d", "/d/self")
+        paths = [p for p, _ in fs.walk("/")]
+        assert "/d/self" in paths
+
+    def test_deep_nesting(self):
+        fs = FileSystem()
+        path = "/" + "/".join(f"level{i}" for i in range(30))
+        fs.mkdir(path, parents=True)
+        fs.create(path + "/leaf", size=1)
+        assert fs.size_of(path + "/leaf") == 1
+
+    def test_rename_directory(self):
+        fs = FileSystem()
+        fs.mkdir("/src/sub", parents=True)
+        fs.create("/src/sub/f", size=5)
+        fs.rename("/src/sub", "/moved")
+        assert fs.size_of("/moved/f") == 5
+        assert not fs.exists("/src/sub")
+
+    def test_listdir_root(self):
+        fs = FileSystem()
+        fs.mkdir("/one")
+        fs.mkdir("/two")
+        assert fs.listdir("/") == ["one", "two"]
+
+    def test_total_size_of_empty_tree(self):
+        assert FileSystem().total_size("/") == 0
+
+    def test_stat_root(self):
+        fs = FileSystem()
+        assert fs.stat("/").kind is FileKind.DIRECTORY
+
+    def test_fifo_kind(self):
+        fs = FileSystem()
+        fs.create("/pipe", kind=FileKind.FIFO)
+        assert fs.kind_of("/pipe").takes_no_space
+
+    def test_version_survives_rename(self):
+        fs = FileSystem()
+        fs.create("/f")
+        fs.write("/f", size=5)
+        fs.rename("/f", "/g")
+        assert fs.stat("/g").version == 1

@@ -1,0 +1,76 @@
+"""Tests for the process table."""
+
+import pytest
+
+from repro.kernel.process import OpenFile, Process, ProcessTable
+
+
+@pytest.fixture
+def table():
+    return ProcessTable()
+
+
+class TestProcessTable:
+    def test_init_process_exists(self, table):
+        assert table.init.pid == 1
+        assert table.init.uid == 0
+
+    def test_spawn_assigns_increasing_pids(self, table):
+        first = table.spawn(ppid=1)
+        second = table.spawn(ppid=1)
+        assert second.pid == first.pid + 1
+
+    def test_fork_inherits_context(self, table):
+        parent = table.spawn(ppid=1, program="bash", uid=500, cwd="/home/u")
+        child = table.fork(parent)
+        assert child.ppid == parent.pid
+        assert child.program == "bash"
+        assert child.uid == 500
+        assert child.cwd == "/home/u"
+
+    def test_fork_registers_child(self, table):
+        parent = table.spawn(ppid=1)
+        child = table.fork(parent)
+        assert child.pid in parent.children
+
+    def test_fork_dead_parent_raises(self, table):
+        parent = table.spawn(ppid=1)
+        table.exit(parent)
+        with pytest.raises(ValueError):
+            table.fork(parent)
+
+    def test_exit_clears_fds(self, table):
+        process = table.spawn(ppid=1)
+        process.allocate_fd(OpenFile(path="/x"))
+        table.exit(process)
+        assert not process.alive
+        assert process.fds == {}
+
+    def test_live_processes(self, table):
+        process = table.spawn(ppid=1)
+        assert process in table.live_processes()
+        table.exit(process)
+        assert process not in table.live_processes()
+
+    def test_lookup(self, table):
+        process = table.spawn(ppid=1)
+        assert table[process.pid] is process
+        assert table.get(99999) is None
+        assert process.pid in table
+
+
+class TestFileDescriptors:
+    def test_fds_start_at_three(self, table):
+        process = table.spawn(ppid=1)
+        assert process.allocate_fd(OpenFile(path="/a")) == 3
+
+    def test_fds_unique(self, table):
+        process = table.spawn(ppid=1)
+        fds = {process.allocate_fd(OpenFile(path=f"/{i}")) for i in range(10)}
+        assert len(fds) == 10
+
+    def test_open_paths_excludes_directories(self, table):
+        process = table.spawn(ppid=1)
+        process.allocate_fd(OpenFile(path="/a"))
+        process.allocate_fd(OpenFile(path="/d", is_directory=True))
+        assert process.open_paths() == ["/a"]

@@ -1,0 +1,235 @@
+"""Tests for the traced system-call layer."""
+
+import pytest
+
+from repro.fs import FileKind, FileSystem
+from repro.kernel import Kernel, VirtualClock
+from repro.tracing import Operation
+
+
+@pytest.fixture
+def kernel():
+    k = Kernel()
+    k.fs.mkdir("/home/u/proj", parents=True)
+    k.fs.mkdir("/bin", parents=True)
+    k.fs.create("/bin/cc", size=50_000)
+    k.fs.create("/home/u/proj/main.c", size=1_000)
+    return k
+
+
+@pytest.fixture
+def user(kernel):
+    process = kernel.processes.spawn(ppid=1, program="bash", uid=1000, cwd="/home/u/proj")
+    return process
+
+
+def collect(kernel):
+    records = []
+    kernel.add_sink(records.append)
+    return records
+
+
+class TestOpenClose:
+    def test_open_traced_with_success(self, kernel, user):
+        records = collect(kernel)
+        fd = kernel.open(user, "main.c")
+        assert fd >= 3
+        assert records[-1].op is Operation.OPEN
+        assert records[-1].ok
+        assert records[-1].path == "main.c"  # raw path, not absolutized
+
+    def test_open_missing_traced_as_failure(self, kernel, user):
+        records = collect(kernel)
+        assert kernel.open(user, "missing.c") == -1
+        assert records[-1].op is Operation.OPEN
+        assert not records[-1].ok
+
+    def test_open_directory_fails(self, kernel, user):
+        assert kernel.open(user, "/home/u") == -1
+
+    def test_close_traced(self, kernel, user):
+        fd = kernel.open(user, "main.c")
+        records = collect(kernel)
+        kernel.close(user, fd)
+        assert records[-1].op is Operation.CLOSE
+        assert records[-1].path == "/home/u/proj/main.c"
+
+    def test_close_after_write_is_write_close(self, kernel, user):
+        fd = kernel.open(user, "main.c", write=True)
+        records = collect(kernel)
+        kernel.close(user, fd)
+        assert records[-1].op is Operation.WRITE_CLOSE
+
+    def test_create_makes_file(self, kernel, user):
+        records = collect(kernel)
+        fd = kernel.open(user, "new.o", create=True, size=2_000)
+        kernel.close(user, fd)
+        assert kernel.fs.size_of("/home/u/proj/new.o") == 2_000
+        assert records[0].op is Operation.CREATE
+
+    def test_write_updates_size_without_trace(self, kernel, user):
+        fd = kernel.open(user, "main.c", write=True)
+        records = collect(kernel)
+        kernel.write(user, fd, size=123)
+        assert records == []  # reads/writes are not traced (sec. 3.1)
+        assert kernel.fs.size_of("/home/u/proj/main.c") == 123
+
+    def test_close_bad_fd_fails(self, kernel, user):
+        assert not kernel.close(user, 42)
+
+
+class TestProcessCalls:
+    def test_fork_traced_as_child(self, kernel, user):
+        records = collect(kernel)
+        child = kernel.fork(user)
+        assert records[-1].op is Operation.FORK
+        assert records[-1].pid == child.pid
+        assert records[-1].ppid == user.pid
+
+    def test_exec_sets_program(self, kernel, user):
+        assert kernel.exec(user, "/bin/cc")
+        assert user.program == "cc"
+
+    def test_exec_missing_program_fails(self, kernel, user):
+        assert not kernel.exec(user, "/bin/nothere")
+
+    def test_exec_traced_before_program_change(self, kernel, user):
+        records = collect(kernel)
+        kernel.exec(user, "/bin/cc")
+        # The record carries the *old* program name, proving the trace
+        # happened before the exec took effect (section 4.11).
+        assert records[-1].program == "bash"
+
+    def test_exit_marks_dead(self, kernel, user):
+        records = collect(kernel)
+        kernel.exit(user)
+        assert records[-1].op is Operation.EXIT
+        assert not user.alive
+
+    def test_spawn_is_fork_exec(self, kernel, user):
+        records = collect(kernel)
+        child = kernel.spawn(user, "/bin/cc")
+        assert child.program == "cc"
+        assert [r.op for r in records] == [Operation.FORK, Operation.EXEC]
+
+
+class TestPathCalls:
+    def test_stat_existing(self, kernel, user):
+        records = collect(kernel)
+        assert kernel.stat(user, "main.c")
+        assert records[-1].op is Operation.STAT and records[-1].ok
+
+    def test_stat_missing(self, kernel, user):
+        records = collect(kernel)
+        assert not kernel.stat(user, "nope")
+        assert not records[-1].ok
+
+    def test_unlink(self, kernel, user):
+        assert kernel.unlink(user, "main.c")
+        assert not kernel.fs.exists("/home/u/proj/main.c")
+
+    def test_rename_records_both_paths(self, kernel, user):
+        records = collect(kernel)
+        assert kernel.rename(user, "main.c", "renamed.c")
+        assert records[-1].path == "main.c"
+        assert records[-1].path2 == "renamed.c"
+
+    def test_mkdir(self, kernel, user):
+        assert kernel.mkdir(user, "subdir")
+        assert kernel.fs.is_directory("/home/u/proj/subdir")
+
+    def test_chdir_changes_cwd(self, kernel, user):
+        kernel.mkdir(user, "subdir")
+        assert kernel.chdir(user, "subdir")
+        assert user.cwd == "/home/u/proj/subdir"
+
+    def test_chdir_missing_fails(self, kernel, user):
+        assert not kernel.chdir(user, "nowhere")
+        assert user.cwd == "/home/u/proj"
+
+    def test_symlink(self, kernel, user):
+        assert kernel.symlink(user, "/bin/cc", "cc-link")
+        assert kernel.fs.stat("/home/u/proj/cc-link").size == 50_000
+
+
+class TestDirectoryReading:
+    def test_scandir_emits_open_read_close(self, kernel, user):
+        records = collect(kernel)
+        names = kernel.scandir(user, "/home/u/proj")
+        assert names == ["main.c"]
+        assert [r.op for r in records] == [
+            Operation.OPENDIR, Operation.READDIR, Operation.CLOSEDIR]
+        assert records[1].entries == 1
+
+    def test_opendir_on_file_fails(self, kernel, user):
+        assert kernel.opendir(user, "main.c") == -1
+
+    def test_getcwd_climbs_tree(self, kernel, user):
+        records = collect(kernel)
+        assert kernel.getcwd(user) == "/home/u/proj"
+        # Climbing /home/u/proj -> /home/u -> /home -> / reads 3 dirs.
+        opendirs = [r for r in records if r.op is Operation.OPENDIR]
+        assert len(opendirs) == 3
+        assert opendirs[0].path == "/home/u"
+
+
+class TestTracingPolicy:
+    def test_superuser_not_traced(self, kernel):
+        root_proc = kernel.processes.spawn(ppid=1, program="cron", uid=0)
+        records = collect(kernel)
+        kernel.stat(root_proc, "/bin/cc")
+        assert records == []
+        assert kernel.records_suppressed > 0
+
+    def test_superuser_traced_when_enabled(self):
+        kernel = Kernel(trace_superuser=True)
+        root_proc = kernel.processes.spawn(ppid=1, uid=0)
+        records = collect(kernel)
+        kernel.stat(root_proc, "/")
+        assert len(records) == 1
+
+    def test_exempt_process_not_traced(self, kernel, user):
+        kernel.exempt_process(user)
+        records = collect(kernel)
+        kernel.stat(user, "main.c")
+        assert records == []
+
+    def test_exemption_inherited_by_children(self, kernel, user):
+        kernel.exempt_process(user)
+        child = kernel.fork(user)
+        records = collect(kernel)
+        kernel.stat(child, "main.c")
+        assert records == []
+
+    def test_sequence_numbers_increase(self, kernel, user):
+        records = collect(kernel)
+        for _ in range(5):
+            kernel.stat(user, "main.c")
+        seqs = [r.seq for r in records]
+        assert seqs == sorted(seqs)
+        assert len(set(seqs)) == 5
+
+    def test_clock_stamps_records(self, kernel, user):
+        records = collect(kernel)
+        kernel.stat(user, "main.c")
+        kernel.clock.advance(60.0)
+        kernel.stat(user, "main.c")
+        assert records[1].time - records[0].time == pytest.approx(60.0)
+
+
+class TestVirtualClock:
+    def test_advance(self):
+        clock = VirtualClock()
+        clock.advance(10)
+        assert clock.now == 10
+
+    def test_advance_negative_raises(self):
+        with pytest.raises(ValueError):
+            VirtualClock().advance(-1)
+
+    def test_advance_to(self):
+        clock = VirtualClock(start=100)
+        clock.advance_to(50)  # no-op
+        assert clock.now == 100
+        clock.advance_to(200)
+        assert clock.now == 200

@@ -1,0 +1,117 @@
+"""Tests for the control file (sections 4.1, 4.3, 4.5, 4.6)."""
+
+import io
+
+import pytest
+
+from repro.observer.control_file import (
+    ControlConfig,
+    parse_control_file,
+    parse_control_text,
+)
+
+
+class TestDefaults:
+    def test_paper_meaningless_list(self):
+        # The residual hand-specified list of section 4.1.
+        config = ControlConfig()
+        for program in ("xargs", "rdist"):
+            assert config.is_meaningless_program(program)
+
+    def test_tmp_transient(self):
+        assert ControlConfig().is_transient("/tmp/scratch123")
+
+    def test_etc_critical(self):
+        assert ControlConfig().is_critical("/etc/passwd")
+
+    def test_dev_ignored(self):
+        assert ControlConfig().is_ignored_object("/dev/tty0")
+
+    def test_ordinary_file_unaffected(self):
+        config = ControlConfig()
+        path = "/home/u/proj/main.c"
+        assert not config.is_transient(path)
+        assert not config.is_critical(path)
+        assert not config.is_ignored_object(path)
+
+
+class TestDotfiles:
+    def test_dotfile_critical(self):
+        # The UNIX-specific heuristic of section 4.3, installed after
+        # the .cshrc severity-0 failure.
+        assert ControlConfig().is_critical("/home/u/.login")
+
+    def test_dotfile_in_subdir(self):
+        assert ControlConfig().is_critical("/home/u/.config")
+
+    def test_dot_inside_name_not_critical(self):
+        assert not ControlConfig().is_critical("/home/u/main.c")
+
+    def test_dotfiles_heuristic_can_be_disabled(self):
+        config = ControlConfig(hoard_dotfiles=False)
+        assert not config.is_critical("/home/u/.login")
+
+
+class TestPrefixMatching:
+    def test_transient_exact_dir_not_parent(self):
+        config = ControlConfig(transient_dirs={"/tmp"})
+        assert config.is_transient("/tmp")
+        assert config.is_transient("/tmp/a/b")
+        assert not config.is_transient("/tmpfoo/x")
+
+    def test_critical_prefix_not_substring(self):
+        config = ControlConfig.empty()
+        config.critical_prefixes.add("/etc")
+        assert config.is_critical("/etc/hosts")
+        assert not config.is_critical("/etcetera")
+
+    def test_critical_single_file(self):
+        config = ControlConfig.empty()
+        config.critical_files.add("/boot/vmlinuz")
+        assert config.is_critical("/boot/vmlinuz")
+        assert not config.is_critical("/boot/other")
+
+
+class TestParsing:
+    def test_full_file(self):
+        text = """
+        # system control file
+        meaningless find
+        transient /var/spool
+        critical /boot
+        critical-file /vmlinuz
+        ignore /proc/*
+        dotfiles off
+        """
+        config = parse_control_text(text)
+        assert config.is_meaningless_program("find")
+        assert config.is_transient("/var/spool/mqueue")
+        assert config.is_critical("/boot/map")
+        assert config.is_critical("/vmlinuz")
+        assert config.is_ignored_object("/proc/1234")
+        assert not config.hoard_dotfiles
+
+    def test_comments_and_blanks(self):
+        config = parse_control_text("# only a comment\n\n")
+        assert config.meaningless_programs == set()
+
+    def test_inline_comment(self):
+        config = parse_control_text("meaningless find  # noisy\n")
+        assert config.is_meaningless_program("find")
+
+    def test_unknown_directive_rejected(self):
+        with pytest.raises(ValueError):
+            parse_control_text("frobnicate /x\n")
+
+    def test_missing_argument_rejected(self):
+        with pytest.raises(ValueError):
+            parse_control_text("meaningless\n")
+
+    def test_stream_parse(self):
+        config = parse_control_file(io.StringIO("transient /scratch\n"))
+        assert config.is_transient("/scratch/f")
+
+    def test_empty_config_has_no_defaults(self):
+        config = ControlConfig.empty()
+        assert not config.is_meaningless_program("xargs")
+        assert not config.is_transient("/tmp/x")

@@ -1,0 +1,239 @@
+"""Tests for the stateful observer filters (sections 4.1 and 4.2)."""
+
+import pytest
+
+from repro.core.parameters import SeerParameters
+from repro.observer.filters import (
+    FrequentFileDetector,
+    GetcwdDetector,
+    MeaninglessDetector,
+    MeaninglessStrategy,
+)
+
+
+def params(**overrides):
+    defaults = dict(meaningless_touch_ratio=0.5, meaningless_min_potential=10,
+                    frequent_file_fraction=0.01,
+                    frequent_file_minimum_accesses=100)
+    defaults.update(overrides)
+    return SeerParameters(**defaults)
+
+
+class TestThresholdStrategy:
+    """Approach 4 of section 4.1, the one that works."""
+
+    def test_find_like_behavior_marked(self):
+        detector = MeaninglessDetector(parameters=params())
+        # find reads a directory of 50 entries and touches all 50.
+        detector.on_readdir(pid=1, program="find", entries=50)
+        for _ in range(50):
+            detector.on_file_access(pid=1, program="find")
+        assert detector.is_meaningless(1, "find")
+
+    def test_editor_like_behavior_meaningful(self):
+        detector = MeaninglessDetector(parameters=params())
+        # An editor reads directories for filename completion but only
+        # touches a couple of the files it learns about.
+        detector.on_readdir(pid=2, program="emacs", entries=100)
+        for _ in range(3):
+            detector.on_file_access(pid=2, program="emacs")
+        assert not detector.is_meaningless(2, "emacs")
+
+    def test_small_samples_not_judged(self):
+        detector = MeaninglessDetector(parameters=params(meaningless_min_potential=20))
+        detector.on_readdir(pid=1, program="x", entries=5)
+        for _ in range(5):
+            detector.on_file_access(pid=1, program="x")
+        assert not detector.is_meaningless(1, "x")
+
+    def test_history_carries_across_processes(self):
+        # SEER tracks the historical behaviour of a *program*: a new
+        # find process is recognized from the first access.
+        detector = MeaninglessDetector(parameters=params())
+        detector.on_readdir(pid=1, program="find", entries=100)
+        for _ in range(100):
+            detector.on_file_access(pid=1, program="find")
+        detector.on_exit(1)
+        assert detector.is_meaningless(2, "find")
+
+    def test_touch_ratio(self):
+        detector = MeaninglessDetector(parameters=params())
+        detector.on_readdir(pid=1, program="p", entries=10)
+        for _ in range(5):
+            detector.on_file_access(pid=1, program="p")
+        assert detector.touch_ratio("p") == pytest.approx(0.5)
+        assert detector.touch_ratio("unknown") is None
+
+    def test_process_without_history_meaningful(self):
+        detector = MeaninglessDetector(parameters=params())
+        assert not detector.is_meaningless(99, "fresh")
+
+
+class TestOtherStrategies:
+    def test_control_list_strategy(self):
+        detector = MeaninglessDetector(
+            strategy=MeaninglessStrategy.CONTROL_LIST,
+            control_programs={"find"}, parameters=params())
+        assert detector.is_meaningless(1, "find")
+        # Even find-like counters do not matter under this strategy.
+        detector.on_readdir(pid=2, program="scanner", entries=100)
+        for _ in range(100):
+            detector.on_file_access(pid=2, program="scanner")
+        assert not detector.is_meaningless(2, "scanner")
+
+    def test_directory_permanent_strategy(self):
+        # Approach 2: fails in practice because editors read directories.
+        detector = MeaninglessDetector(
+            strategy=MeaninglessStrategy.DIRECTORY_PERMANENT, parameters=params())
+        assert not detector.is_meaningless(1, "emacs")
+        detector.on_directory_open(pid=1)
+        detector.on_directory_close(pid=1)
+        assert detector.is_meaningless(1, "emacs")  # marked forever
+
+    def test_directory_while_open_strategy(self):
+        detector = MeaninglessDetector(
+            strategy=MeaninglessStrategy.DIRECTORY_WHILE_OPEN, parameters=params())
+        detector.on_directory_open(pid=1)
+        assert detector.is_meaningless(1, "emacs")
+        detector.on_directory_close(pid=1)
+        assert not detector.is_meaningless(1, "emacs")
+
+    def test_control_list_consulted_by_all_strategies(self):
+        detector = MeaninglessDetector(control_programs={"xargs"},
+                                       parameters=params())
+        assert detector.is_meaningless(1, "xargs")
+
+
+class TestGetcwdDetector:
+    def test_climbing_pattern_detected(self):
+        detector = GetcwdDetector()
+        assert not detector.on_directory_open(1, "/home/u")
+        assert detector.on_directory_open(1, "/home")   # parent of previous
+        assert detector.on_directory_open(1, "/")       # still climbing
+
+    def test_unrelated_directory_resets(self):
+        detector = GetcwdDetector()
+        detector.on_directory_open(1, "/home/u")
+        assert not detector.on_directory_open(1, "/var/log")
+
+    def test_file_activity_ends_climb(self):
+        detector = GetcwdDetector()
+        detector.on_directory_open(1, "/home/u")
+        detector.on_directory_open(1, "/home")
+        assert detector.is_in_getcwd(1)
+        detector.on_other_activity(1)
+        assert not detector.is_in_getcwd(1)
+
+    def test_per_process_state(self):
+        detector = GetcwdDetector()
+        detector.on_directory_open(1, "/home/u")
+        detector.on_directory_open(1, "/home")
+        assert detector.is_in_getcwd(1)
+        assert not detector.is_in_getcwd(2)
+
+    def test_exit_clears(self):
+        detector = GetcwdDetector()
+        detector.on_directory_open(1, "/home/u")
+        detector.on_directory_open(1, "/home")
+        detector.on_exit(1)
+        assert not detector.is_in_getcwd(1)
+
+    def test_descending_is_not_getcwd(self):
+        # find descends; getcwd climbs.  Parent-then-child is no match.
+        detector = GetcwdDetector()
+        detector.on_directory_open(1, "/home")
+        assert not detector.on_directory_open(1, "/home/u")
+
+    def test_root_reopened_not_climbing(self):
+        detector = GetcwdDetector()
+        detector.on_directory_open(1, "/")
+        assert not detector.on_directory_open(1, "/")
+
+
+class TestFrequentFileDetector:
+    def test_shared_library_detected(self):
+        detector = FrequentFileDetector(params())
+        # 1000 accesses, 5 % of them to the shared library.
+        for index in range(950):
+            detector.record(f"/files/{index % 400}")
+        for _ in range(50):
+            detector.record("/lib/libc.so")
+        assert detector.is_frequent("/lib/libc.so")
+
+    def test_rule_inactive_below_minimum(self):
+        detector = FrequentFileDetector(params(frequent_file_minimum_accesses=1000))
+        for _ in range(50):
+            assert not detector.record("/lib/libc.so")
+
+    def test_designation_sticky(self):
+        detector = FrequentFileDetector(params(frequent_file_minimum_accesses=10))
+        for _ in range(100):
+            detector.record("/lib/libc.so")
+        assert detector.is_frequent("/lib/libc.so")
+        # Dilute far below 1 %: the designation persists.
+        for index in range(100_000):
+            detector.record(f"/f{index}")
+        assert detector.is_frequent("/lib/libc.so")
+
+    def test_rare_file_not_frequent(self):
+        detector = FrequentFileDetector(params(frequent_file_minimum_accesses=10))
+        for index in range(1000):
+            detector.record(f"/f{index % 500}")
+        detector.record("/rare")
+        assert not detector.is_frequent("/rare")
+
+    def test_access_fraction(self):
+        detector = FrequentFileDetector(params())
+        detector.record("/a")
+        detector.record("/a")
+        detector.record("/b")
+        assert detector.access_fraction("/a") == pytest.approx(2 / 3)
+        assert detector.access_fraction("/never") == 0.0
+
+    def test_frequent_files_set(self):
+        detector = FrequentFileDetector(params(frequent_file_minimum_accesses=10))
+        for _ in range(100):
+            detector.record("/hot")
+        assert detector.frequent_files() == {"/hot"}
+
+    def test_empty_detector(self):
+        detector = FrequentFileDetector(params())
+        assert detector.total_accesses == 0
+        assert detector.access_fraction("/x") == 0.0
+
+
+class TestWriteProtection:
+    """Scanners never write; writers are never meaningless."""
+
+    def test_writing_program_never_meaningless(self):
+        detector = MeaninglessDetector(parameters=params())
+        # An editor whose touch ratio would otherwise trip the rule.
+        detector.on_readdir(pid=1, program="vi", entries=15)
+        for _ in range(40):
+            detector.on_file_access(pid=1, program="vi")
+        assert detector.is_meaningless(1, "vi")     # before any write
+        detector.on_file_write(pid=1, program="vi")
+        assert not detector.is_meaningless(1, "vi")  # protected now
+
+    def test_write_protection_is_per_program(self):
+        detector = MeaninglessDetector(parameters=params())
+        detector.on_file_write(pid=1, program="vi")
+        detector.on_readdir(pid=2, program="find", entries=50)
+        for _ in range(50):
+            detector.on_file_access(pid=2, program="find")
+        assert detector.is_meaningless(2, "find")
+
+    def test_write_protection_survives_process_exit(self):
+        detector = MeaninglessDetector(parameters=params())
+        detector.on_file_write(pid=1, program="vi")
+        detector.on_exit(1)
+        detector.on_readdir(pid=2, program="vi", entries=15)
+        for _ in range(40):
+            detector.on_file_access(pid=2, program="vi")
+        assert not detector.is_meaningless(2, "vi")
+
+    def test_control_list_overrides_write_protection(self):
+        detector = MeaninglessDetector(control_programs={"rdist"},
+                                       parameters=params())
+        detector.on_file_write(pid=1, program="rdist")
+        assert detector.is_meaningless(1, "rdist")

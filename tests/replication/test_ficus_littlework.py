@@ -1,0 +1,173 @@
+"""Tests for the FICUS and LITTLE WORK substrates (sections 4.4, 6.1)."""
+
+import pytest
+
+from repro.fs import FileSystem
+from repro.replication import (
+    AccessOutcome,
+    FicusReplication,
+    LittleWork,
+    LogOperation,
+)
+
+
+@pytest.fixture
+def server():
+    fs = FileSystem()
+    fs.mkdir("/proj", parents=True)
+    fs.create("/proj/a", size=10)
+    fs.create("/proj/b", size=20)
+    return fs
+
+
+class TestFicusRemoteAccess:
+    def test_remote_access_recorded(self, server):
+        ficus = FicusReplication(server)
+        result = ficus.access("/proj/a")
+        assert result.outcome is AccessOutcome.REMOTE
+        assert "/proj/a" in ficus.remotely_accessed_paths()
+
+    def test_remote_paths_feed_next_hoard(self, server):
+        # Section 4.4: a successful remote access marks the file to be
+        # hoarded later.
+        ficus = FicusReplication(server)
+        ficus.access("/proj/a")
+        ficus.set_hoard(ficus.remotely_accessed_paths())
+        assert ficus.access("/proj/a").outcome is AccessOutcome.LOCAL
+
+    def test_disconnected_miss_looks_like_enoent(self, server):
+        # The hard case: FICUS cannot distinguish a miss from a
+        # nonexistent file once disconnected.
+        ficus = FicusReplication(server)
+        ficus.disconnect()
+        assert ficus.access("/proj/b").outcome is AccessOutcome.NOT_FOUND
+
+    def test_local_access_not_recorded_as_remote(self, server):
+        ficus = FicusReplication(server)
+        ficus.set_hoard({"/proj/a"})
+        ficus.access("/proj/a")
+        assert "/proj/a" not in ficus.remotely_accessed_paths()
+
+
+class TestFicusResolvers:
+    def test_concurrent_update_resolved_automatically(self, server):
+        ficus = FicusReplication(server)
+        ficus.set_hoard({"/proj/a"})
+        ficus.disconnect()
+        ficus.local_update("/proj/a", size=55)
+        server.write("/proj/a", size=77)
+        conflicts = ficus.reconnect()
+        assert len(conflicts) == 1
+        assert conflicts[0].detail == "resolved automatically"
+        # Default resolver keeps the disconnected user's work.
+        assert server.size_of("/proj/a") == 55
+
+    def test_custom_resolver(self, server):
+        ficus = FicusReplication(server,
+                                 resolver=lambda p, ls, ss: "server")
+        ficus.set_hoard({"/proj/a"})
+        ficus.disconnect()
+        ficus.local_update("/proj/a", size=55)
+        server.write("/proj/a", size=77)
+        ficus.reconnect()
+        assert ficus.local_sizes["/proj/a"] == 77
+
+    def test_clean_sync_no_conflicts(self, server):
+        ficus = FicusReplication(server)
+        ficus.set_hoard({"/proj/a"})
+        ficus.disconnect()
+        ficus.local_update("/proj/a", size=33)
+        assert ficus.reconnect() == []
+        assert server.size_of("/proj/a") == 33
+
+
+class TestLittleWorkLog:
+    def test_connected_writes_not_logged(self, server):
+        lw = LittleWork(server)
+        lw.set_hoard({"/proj/a"})
+        lw.local_update("/proj/a", size=15)
+        assert lw.log == []
+
+    def test_disconnected_writes_logged(self, server):
+        lw = LittleWork(server)
+        lw.set_hoard({"/proj/a"})
+        lw.disconnect()
+        lw.local_update("/proj/a", size=15)
+        assert len(lw.log) == 1
+        assert lw.log[0].operation is LogOperation.STORE
+
+    def test_replay_applies_stores(self, server):
+        lw = LittleWork(server)
+        lw.set_hoard({"/proj/a"})
+        lw.disconnect()
+        lw.local_update("/proj/a", size=15)
+        conflicts = lw.reconnect()
+        assert conflicts == []
+        assert server.size_of("/proj/a") == 15
+        assert lw.log == []
+        assert lw.replayed == 1
+
+    def test_replay_conflict_preserves_server(self, server):
+        lw = LittleWork(server)
+        lw.set_hoard({"/proj/a"})
+        lw.disconnect()
+        lw.local_update("/proj/a", size=15)
+        server.write("/proj/a", size=99)   # concurrent server update
+        conflicts = lw.reconnect()
+        assert len(conflicts) == 1
+        assert "replay conflict" in conflicts[0].detail
+        assert server.size_of("/proj/a") == 99
+
+    def test_disconnected_create_replayed(self, server):
+        lw = LittleWork(server)
+        lw.disconnect()
+        lw.local_create("/proj/new", size=7)
+        lw.reconnect()
+        assert server.size_of("/proj/new") == 7
+
+    def test_create_collision_is_conflict(self, server):
+        lw = LittleWork(server)
+        lw.disconnect()
+        lw.local_create("/proj/a", size=7)   # exists on server already
+        conflicts = lw.reconnect()
+        assert len(conflicts) == 1
+        assert server.size_of("/proj/a") == 10   # server preserved
+
+    def test_disconnected_remove_replayed(self, server):
+        lw = LittleWork(server)
+        lw.set_hoard({"/proj/a"})
+        lw.disconnect()
+        lw.local_remove("/proj/a")
+        lw.reconnect()
+        assert not server.exists("/proj/a")
+
+    def test_remove_of_updated_file_is_conflict(self, server):
+        lw = LittleWork(server)
+        lw.set_hoard({"/proj/a"})
+        lw.disconnect()
+        lw.local_remove("/proj/a")
+        server.write("/proj/a", size=42)
+        conflicts = lw.reconnect()
+        assert len(conflicts) == 1
+        assert server.exists("/proj/a")
+
+    def test_store_to_removed_file_recreates(self, server):
+        lw = LittleWork(server)
+        lw.set_hoard({"/proj/a"})
+        lw.disconnect()
+        lw.local_update("/proj/a", size=15)
+        server.unlink("/proj/a")
+        conflicts = lw.reconnect()
+        assert len(conflicts) == 1
+        assert server.size_of("/proj/a") == 15
+
+    def test_connected_create_immediate(self, server):
+        lw = LittleWork(server)
+        lw.local_create("/proj/now", size=3)
+        assert server.size_of("/proj/now") == 3
+        assert lw.log == []
+
+    def test_cold_cache_miss_is_enoent(self, server):
+        lw = LittleWork(server)
+        lw.disconnect()
+        assert lw.access("/proj/a").outcome is AccessOutcome.NOT_FOUND

@@ -1,0 +1,108 @@
+"""Tests for multi-replica RUMOR gossip (paper reference [18])."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.replication.gossip import RumorNetwork
+
+
+@pytest.fixture
+def network():
+    return RumorNetwork(["laptop", "desktop", "server"], seed=1)
+
+
+class TestConstruction:
+    def test_needs_two_replicas(self):
+        with pytest.raises(ValueError):
+            RumorNetwork(["solo"])
+
+    def test_unique_ids(self):
+        with pytest.raises(ValueError):
+            RumorNetwork(["a", "a"])
+
+
+class TestEpidemicSpread:
+    def test_update_spreads_through_intermediary(self, network):
+        # laptop -> desktop -> server: the server never talks to the
+        # laptop, yet receives its update.
+        network.seed_file("/f", size=1, origin="laptop")
+        network.reconcile_pair("laptop", "desktop")
+        network.reconcile_pair("desktop", "server")
+        assert network.replicas["server"].files["/f"].size == 1
+
+    def test_ring_converges(self, network):
+        network.seed_file("/f", size=5, origin="laptop")
+        rounds = network.gossip_until_converged(topology="ring")
+        assert network.converged()
+        assert rounds <= 3
+        assert set(network.file_sizes("/f").values()) == {5}
+
+    def test_random_gossip_converges(self):
+        network = RumorNetwork([f"r{i}" for i in range(8)], seed=3)
+        network.seed_file("/doc", size=9, origin="r0")
+        network.gossip_until_converged(topology="random")
+        assert set(network.file_sizes("/doc").values()) == {9}
+
+    def test_rounds_recorded(self, network):
+        network.seed_file("/f", size=1)
+        network.ring_round()
+        assert len(network.rounds) == 1
+        assert len(network.rounds[0].pairs) == 3
+
+    def test_no_convergence_raises(self):
+        class NeverConverged(RumorNetwork):
+            def converged(self):
+                return False
+        network = NeverConverged(["a", "b"], seed=1)
+        network.seed_file("/f")
+        with pytest.raises(RuntimeError):
+            network.gossip_until_converged(max_rounds=3)
+
+
+class TestConflicts:
+    def test_concurrent_updates_resolved_everywhere(self, network):
+        network.seed_file("/f", size=1, origin="laptop")
+        network.gossip_until_converged(topology="ring")
+        # Two replicas update concurrently.
+        network.update("laptop", "/f", size=10)
+        network.update("server", "/f", size=20)
+        network.gossip_until_converged(topology="ring")
+        sizes = set(network.file_sizes("/f").values())
+        assert len(sizes) == 1          # everyone agrees
+        assert sizes.pop() in (10, 20)  # on one of the contenders
+
+    def test_conflicts_reported_in_round(self, network):
+        network.seed_file("/f", size=1, origin="laptop")
+        network.gossip_until_converged(topology="ring")
+        network.update("laptop", "/f", size=10)
+        network.update("server", "/f", size=20)
+        round_record = network.ring_round()
+        assert round_record.conflicts
+
+    def test_custom_resolver_applied(self):
+        network = RumorNetwork(["a", "b"],
+                               resolver=lambda p, mine, theirs: "local",
+                               seed=1)
+        network.seed_file("/f", size=1, origin="a")
+        network.reconcile_pair("a", "b")
+        network.update("a", "/f", size=10)
+        network.update("b", "/f", size=20)
+        network.gossip_until_converged(topology="ring")
+        assert network.converged()
+
+
+@settings(max_examples=25, deadline=None)
+@given(st.lists(st.tuples(st.integers(min_value=0, max_value=4),
+                          st.sampled_from(["/x", "/y"]),
+                          st.integers(min_value=1, max_value=99)),
+                max_size=20),
+       st.sampled_from(["ring", "random"]))
+def test_any_update_pattern_converges(updates, topology):
+    network = RumorNetwork([f"r{i}" for i in range(5)], seed=11)
+    network.seed_file("/x", size=1, origin="r0")
+    network.seed_file("/y", size=1, origin="r1")
+    network.gossip_until_converged(topology=topology)
+    for replica_index, path, size in updates:
+        network.update(f"r{replica_index}", path, size)
+    network.gossip_until_converged(topology=topology)
+    assert network.converged()

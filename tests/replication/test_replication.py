@@ -1,0 +1,273 @@
+"""Tests for the replication substrates (paper sections 2 and 4.4)."""
+
+import pytest
+
+from repro.baselines.coda_priority import HoardProfile
+from repro.fs import FileSystem
+from repro.replication import (
+    AccessOutcome,
+    CheapRumor,
+    CodaReplication,
+    Rumor,
+    VersionVector,
+)
+from repro.replication.rumor import RumorReplica
+
+
+@pytest.fixture
+def server():
+    fs = FileSystem()
+    fs.mkdir("/proj", parents=True)
+    fs.create("/proj/a", size=10)
+    fs.create("/proj/b", size=20)
+    fs.create("/proj/c", size=30)
+    return fs
+
+
+class TestHoardFill:
+    @pytest.mark.parametrize("cls", [CheapRumor, Rumor, CodaReplication])
+    def test_set_hoard_fetches(self, server, cls):
+        replication = cls(server)
+        fetched = replication.set_hoard({"/proj/a", "/proj/b"})
+        assert fetched == {"/proj/a", "/proj/b"}
+        assert replication.hoard_bytes() == 30
+
+    @pytest.mark.parametrize("cls", [CheapRumor, Rumor, CodaReplication])
+    def test_missing_files_skipped(self, server, cls):
+        replication = cls(server)
+        fetched = replication.set_hoard({"/proj/a", "/gone"})
+        assert fetched == {"/proj/a"}
+
+    @pytest.mark.parametrize("cls", [CheapRumor, Rumor, CodaReplication])
+    def test_refill_replaces(self, server, cls):
+        replication = cls(server)
+        replication.set_hoard({"/proj/a"})
+        replication.set_hoard({"/proj/b"})
+        assert replication.hoarded_paths() == {"/proj/b"}
+
+    def test_refill_keeps_dirty_files(self, server):
+        replication = CheapRumor(server)
+        replication.set_hoard({"/proj/a"})
+        replication.local_update("/proj/a", size=15)
+        replication.set_hoard({"/proj/b"})
+        assert "/proj/a" in replication.hoarded_paths()
+
+    def test_cannot_refill_disconnected(self, server):
+        replication = CheapRumor(server)
+        replication.disconnect()
+        with pytest.raises(RuntimeError):
+            replication.set_hoard({"/proj/a"})
+
+
+class TestAccessSemantics:
+    def test_hoarded_file_local(self, server):
+        replication = CheapRumor(server)
+        replication.set_hoard({"/proj/a"})
+        assert replication.access("/proj/a").outcome is AccessOutcome.LOCAL
+
+    def test_connected_nonhoarded_remote(self, server):
+        replication = CheapRumor(server)
+        assert replication.access("/proj/b").outcome is AccessOutcome.REMOTE
+
+    def test_disconnected_miss_detection_varies(self, server):
+        # Section 4.4: detectability depends on the substrate.
+        cheap = CheapRumor(server)
+        cheap.disconnect()
+        assert cheap.access("/proj/b").outcome is AccessOutcome.NOT_FOUND
+
+        rumor = Rumor(server)
+        rumor.disconnect()
+        assert rumor.access("/proj/b").outcome is AccessOutcome.MISS
+
+    def test_nonexistent_not_found_everywhere(self, server):
+        for cls in (CheapRumor, Rumor, CodaReplication):
+            replication = cls(server)
+            assert replication.access("/ghost").outcome is AccessOutcome.NOT_FOUND
+
+    def test_access_result_ok(self, server):
+        replication = Rumor(server)
+        replication.set_hoard({"/proj/a"})
+        assert replication.access("/proj/a").ok
+        replication.disconnect()
+        assert not replication.access("/proj/b").ok
+
+
+class TestCheapRumorSync:
+    def test_clean_copies_refreshed(self, server):
+        replication = CheapRumor(server)
+        replication.set_hoard({"/proj/a"})
+        server.write("/proj/a", size=99)
+        replication.reconnect()
+        assert replication.local_sizes["/proj/a"] == 99
+
+    def test_dirty_copy_pushed(self, server):
+        replication = CheapRumor(server)
+        replication.set_hoard({"/proj/a"})
+        replication.disconnect()
+        replication.local_update("/proj/a", size=55)
+        conflicts = replication.reconnect()
+        assert conflicts == []
+        assert server.size_of("/proj/a") == 55
+
+    def test_conflict_server_wins(self, server):
+        replication = CheapRumor(server)
+        replication.set_hoard({"/proj/a"})
+        replication.disconnect()
+        replication.local_update("/proj/a", size=55)
+        server.write("/proj/a", size=77)   # concurrent server update
+        conflicts = replication.reconnect()
+        assert len(conflicts) == 1
+        assert conflicts[0].winner == "server"
+        assert replication.local_sizes["/proj/a"] == 77
+        assert server.size_of("/proj/a") == 77
+
+    def test_deleted_on_master_dropped(self, server):
+        replication = CheapRumor(server)
+        replication.set_hoard({"/proj/a"})
+        server.unlink("/proj/a")
+        replication.reconnect()
+        assert "/proj/a" not in replication.hoarded_paths()
+
+    def test_delete_vs_dirty_is_conflict(self, server):
+        replication = CheapRumor(server)
+        replication.set_hoard({"/proj/a"})
+        replication.disconnect()
+        replication.local_update("/proj/a", size=5)
+        server.unlink("/proj/a")
+        conflicts = replication.reconnect()
+        assert len(conflicts) == 1
+
+
+class TestVersionVectors:
+    def test_bump_and_dominates(self):
+        a = VersionVector().bump("x")
+        b = a.copy().bump("x")
+        assert b.dominates(a)
+        assert not a.dominates(b)
+
+    def test_concurrent(self):
+        a = VersionVector().bump("x")
+        b = VersionVector().bump("y")
+        assert a.concurrent_with(b)
+
+    def test_merge(self):
+        a = VersionVector({"x": 2, "y": 1})
+        b = VersionVector({"x": 1, "y": 3})
+        assert a.merge(b) == VersionVector({"x": 2, "y": 3})
+
+    def test_equal_vectors_dominate_each_other(self):
+        a = VersionVector({"x": 1})
+        b = VersionVector({"x": 1})
+        assert a.dominates(b) and b.dominates(a)
+        assert not a.concurrent_with(b)
+
+    def test_empty_vector_dominated_by_all(self):
+        assert VersionVector({"x": 1}).dominates(VersionVector())
+
+
+class TestRumorReconciliation:
+    def test_pull_new_file(self):
+        source = RumorReplica("s")
+        source.store("/f", size=10)
+        target = RumorReplica("t")
+        conflicts = target.reconcile_from(source)
+        assert conflicts == []
+        assert target.files["/f"].size == 10
+
+    def test_pull_newer_version(self):
+        source = RumorReplica("s")
+        source.store("/f", size=10)
+        target = RumorReplica("t")
+        target.reconcile_from(source)
+        source.update("/f", size=20)
+        target.reconcile_from(source)
+        assert target.files["/f"].size == 20
+
+    def test_concurrent_update_is_conflict(self):
+        source = RumorReplica("s")
+        source.store("/f", size=10)
+        target = RumorReplica("t")
+        target.reconcile_from(source)
+        source.update("/f", size=20)
+        target.update("/f", size=30)
+        conflicts = target.reconcile_from(source)
+        assert len(conflicts) == 1
+        # Default resolver keeps the larger copy.
+        assert target.files["/f"].size == 30
+
+    def test_resolution_converges(self):
+        source = RumorReplica("s")
+        source.store("/f", size=10)
+        target = RumorReplica("t")
+        target.reconcile_from(source)
+        source.update("/f", size=20)
+        target.update("/f", size=30)
+        target.reconcile_from(source)
+        source.reconcile_from(target)
+        assert source.files["/f"].size == target.files["/f"].size
+        assert not source.files["/f"].vector.concurrent_with(
+            target.files["/f"].vector)
+
+    def test_rumor_substrate_sync(self, server):
+        replication = Rumor(server)
+        replication.set_hoard({"/proj/a"})
+        replication.disconnect()
+        replication.local_update("/proj/a", size=44)
+        conflicts = replication.reconnect()
+        assert conflicts == []
+        assert server.size_of("/proj/a") == 44
+
+
+class TestCoda:
+    def test_callback_break_on_server_update(self, server):
+        replication = CodaReplication(server)
+        replication.set_hoard({"/proj/a"})
+        assert replication.has_callback("/proj/a")
+        server.write("/proj/a", size=99)
+        replication.server_updated("/proj/a")
+        assert not replication.has_callback("/proj/a")
+
+    def test_broken_callback_refetched_on_access(self, server):
+        replication = CodaReplication(server)
+        replication.set_hoard({"/proj/a"})
+        server.write("/proj/a", size=99)
+        replication.server_updated("/proj/a")
+        result = replication.access("/proj/a")
+        assert result.outcome is AccessOutcome.REMOTE
+        assert replication.local_sizes["/proj/a"] == 99
+        assert replication.has_callback("/proj/a")
+
+    def test_hoard_walk_respects_priorities_and_budget(self, server):
+        replication = CodaReplication(server, cache_budget=30)
+        replication.load_profile(HoardProfile("p", {"/proj/c": 10.0,
+                                                    "/proj/a": 5.0}))
+        chosen = replication.hoard_walk(candidates={"/proj/a", "/proj/b",
+                                                    "/proj/c"})
+        assert chosen == {"/proj/c"}   # 30 bytes; /proj/a no longer fits
+
+    def test_hoard_walk_expands_directory_rules(self, server):
+        replication = CodaReplication(server)
+        replication.load_profile(HoardProfile("p", {"/proj": 1.0}))
+        chosen = replication.hoard_walk()
+        assert chosen == {"/proj/a", "/proj/b", "/proj/c"}
+
+    def test_reintegration_conflict_keeps_local(self, server):
+        replication = CodaReplication(server)
+        replication.set_hoard({"/proj/a"})
+        replication.disconnect()
+        replication.local_update("/proj/a", size=11)
+        server.write("/proj/a", size=99)
+        conflicts = replication.reconnect()
+        assert len(conflicts) == 1
+        assert conflicts[0].winner == "local"
+        assert server.size_of("/proj/a") == 11
+
+    def test_remote_access_supported(self, server):
+        replication = CodaReplication(server)
+        assert replication.access("/proj/b").outcome is AccessOutcome.REMOTE
+
+    def test_disconnected_miss_detected(self, server):
+        replication = CodaReplication(server)
+        replication.set_hoard({"/proj/a"})
+        replication.disconnect()
+        assert replication.access("/proj/b").outcome is AccessOutcome.MISS

@@ -1,0 +1,80 @@
+"""Tests for the live-usage simulation (section 5.2.2)."""
+
+import pytest
+
+from repro.core.hoard import MissSeverity
+from repro.simulation.live import (
+    LiveResult,
+    scaled_hoard_budget,
+    simulate_live_usage,
+)
+from repro.workload import generate_machine_trace, machine_profile
+
+MB = 1024 * 1024
+
+
+@pytest.fixture(scope="module")
+def trace():
+    return generate_machine_trace(machine_profile("F"), seed=1, days=42)
+
+
+@pytest.fixture(scope="module")
+def result(trace):
+    return simulate_live_usage(trace)
+
+
+class TestLiveSimulation:
+    def test_outcome_per_disconnection(self, trace, result):
+        assert len(result.outcomes) >= 10
+
+    def test_disconnection_stats_match_profile(self, trace, result):
+        stats = result.disconnection_statistics()
+        # The squashed schedule's mean should be near Table 3's.
+        assert stats.mean == pytest.approx(
+            trace.machine.mean_disconnection_hours, rel=0.5)
+
+    def test_no_severity_zero(self, result):
+        # The paper: "there were no severity-0 failures" -- critical
+        # files are always hoarded.
+        assert result.failures_at_severity(MissSeverity.COMPUTER_UNUSABLE) == 0
+
+    def test_few_failed_disconnections(self, result):
+        # Even on the stressed machine, failures are a small fraction.
+        assert result.failures_any_severity() <= 0.3 * len(result.outcomes)
+
+    def test_auto_detections_at_least_manual(self, result):
+        # Automatic detection sees every miss the user reports and more.
+        assert result.automatic_detections() >= result.failures_any_severity()
+
+    def test_first_miss_within_disconnection(self, result):
+        for outcome in result.failed_disconnections():
+            first = outcome.first_miss_hours()
+            assert first is not None
+            assert 0 <= first <= outcome.period.duration_hours
+
+    def test_generous_hoard_eliminates_misses(self, trace):
+        generous = simulate_live_usage(trace, hoard_budget=10**9)
+        assert generous.failures_any_severity() == 0
+        assert generous.automatic_detections() == 0
+
+    def test_tiny_hoard_causes_misses(self, trace):
+        starved = simulate_live_usage(trace, hoard_budget=1000)
+        assert starved.failures_any_severity() > 0
+
+    def test_hoard_budget_scaled_from_profile(self, trace, result):
+        assert result.hoard_budget == scaled_hoard_budget(trace)
+        assert 0 < result.hoard_budget < trace.machine.hoard_size_bytes
+
+    def test_manual_misses_deduplicated_per_project(self, result):
+        for outcome in result.failed_disconnections():
+            projects = [m.path.rsplit("/", 1)[0] for m in outcome.manual_misses]
+            assert len(projects) == len(set(projects))
+
+    def test_first_miss_hours_collection(self, result):
+        values = result.first_miss_hours()
+        assert len(values) == result.failures_any_severity()
+
+    def test_light_machine_mostly_clean(self):
+        light = generate_machine_trace(machine_profile("A"), seed=2, days=42)
+        outcome = simulate_live_usage(light)
+        assert outcome.failures_any_severity() <= 2

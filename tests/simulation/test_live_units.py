@@ -1,0 +1,76 @@
+"""Unit tests for live-simulation helpers."""
+
+import pytest
+
+from repro.core.hoard import MissSeverity
+from repro.simulation.live import (
+    HOARD_SCALE_DIVISOR,
+    _active_hours_in,
+    _severity_for,
+    scaled_hoard_budget,
+)
+from repro.workload.generator import GeneratedTrace
+from repro.workload.projects import FileRole
+from repro.workload.sessions import HOUR, Period, PeriodKind, Schedule
+from repro.workload import generate_machine_trace, machine_profile
+
+
+@pytest.fixture(scope="module")
+def trace():
+    return generate_machine_trace(machine_profile("E"), seed=1, days=7)
+
+
+class TestScaledBudget:
+    def test_profile_budget_scaled(self, trace):
+        budget = scaled_hoard_budget(trace)
+        assert budget == int(trace.machine.hoard_size_bytes /
+                             HOARD_SCALE_DIVISOR)
+
+    def test_explicit_size(self, trace):
+        assert scaled_hoard_budget(trace, hoard_size_bytes=230) == 10
+
+    def test_never_zero(self, trace):
+        assert scaled_hoard_budget(trace, hoard_size_bytes=1) == 1
+
+
+class TestSeverityMapping:
+    def test_role_mapping(self, trace):
+        path = next(p for p, r in trace.roles.items()
+                    if r is FileRole.PRIMARY)
+        assert _severity_for(trace, path) is MissSeverity.TASK_CHANGED
+
+    def test_startup_maps_to_zero(self, trace):
+        path = next(p for p, r in trace.roles.items()
+                    if r is FileRole.STARTUP)
+        assert _severity_for(trace, path) is MissSeverity.COMPUTER_UNUSABLE
+
+    def test_unknown_file_has_no_severity(self, trace):
+        assert _severity_for(trace, "/no/role") is None
+
+
+class TestActiveHours:
+    def _schedule(self):
+        disconnection = Period(PeriodKind.DISCONNECTED, 0.0, 10 * HOUR)
+        suspension = Period(PeriodKind.SUSPENDED, 2 * HOUR, 5 * HOUR)
+        return disconnection, Schedule(periods=[disconnection, suspension])
+
+    def test_before_suspension(self):
+        disconnection, schedule = self._schedule()
+        assert _active_hours_in(disconnection, schedule, 1 * HOUR) == \
+            pytest.approx(1.0)
+
+    def test_during_suspension_clamped(self):
+        disconnection, schedule = self._schedule()
+        # 3 hours in, but the last hour was suspended.
+        assert _active_hours_in(disconnection, schedule, 3 * HOUR) == \
+            pytest.approx(2.0)
+
+    def test_after_suspension(self):
+        disconnection, schedule = self._schedule()
+        # 7 hours in, minus the 3 suspended.
+        assert _active_hours_in(disconnection, schedule, 7 * HOUR) == \
+            pytest.approx(4.0)
+
+    def test_never_negative(self):
+        disconnection, schedule = self._schedule()
+        assert _active_hours_in(disconnection, schedule, 0.0) == 0.0

@@ -1,0 +1,72 @@
+"""Tests for descriptive statistics and confidence intervals."""
+
+import math
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.simulation.stats import ci99_halfwidth, mean_with_ci, summarize
+
+
+class TestSummarize:
+    def test_basic(self):
+        stats = summarize([1.0, 2.0, 3.0, 4.0])
+        assert stats.count == 4
+        assert stats.mean == pytest.approx(2.5)
+        assert stats.median == pytest.approx(2.5)
+        assert stats.minimum == 1.0
+        assert stats.maximum == 4.0
+
+    def test_odd_median(self):
+        assert summarize([5, 1, 3]).median == 3
+
+    def test_single_value(self):
+        stats = summarize([7.0])
+        assert stats.std == 0.0
+        assert stats.mean == 7.0
+
+    def test_empty(self):
+        stats = summarize([])
+        assert stats.count == 0
+        assert stats.mean == 0.0
+
+    def test_sample_std(self):
+        stats = summarize([2.0, 4.0])
+        assert stats.std == pytest.approx(math.sqrt(2))
+
+    def test_unsorted_input(self):
+        assert summarize([9, 1, 5]).minimum == 1
+
+    def test_format_row(self):
+        assert "mean=" in summarize([1.0]).format_row()
+
+    @given(st.lists(st.floats(min_value=-1e6, max_value=1e6,
+                              allow_nan=False), min_size=1, max_size=100))
+    def test_bounds_invariants(self, values):
+        stats = summarize(values)
+        assert stats.minimum <= stats.median <= stats.maximum
+        assert stats.minimum <= stats.mean <= stats.maximum + 1e-9
+        assert stats.std >= 0
+
+
+class TestConfidenceInterval:
+    def test_zero_for_single_sample(self):
+        assert ci99_halfwidth([5.0]) == 0.0
+
+    def test_zero_for_constant_data(self):
+        assert ci99_halfwidth([3.0] * 10) == pytest.approx(0.0)
+
+    def test_matches_t_distribution(self):
+        # Two points a distance 2 apart: std = sqrt(2), se = 1,
+        # t(0.995, df=1) = 63.657.
+        halfwidth = ci99_halfwidth([1.0, 3.0])
+        assert halfwidth == pytest.approx(63.657, rel=1e-3)
+
+    def test_shrinks_with_samples(self):
+        narrow = ci99_halfwidth([1.0, 2.0] * 50)
+        wide = ci99_halfwidth([1.0, 2.0])
+        assert narrow < wide
+
+    def test_mean_with_ci_format(self):
+        text = mean_with_ci([1.0, 2.0, 3.0])
+        assert "+/-" in text

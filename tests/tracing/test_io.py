@@ -1,0 +1,119 @@
+"""Round-trip tests for trace serialization."""
+
+import io
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.tracing import Operation, TraceRecord, read_trace, write_trace
+from repro.tracing.io import format_record, parse_record
+
+
+def _record(**overrides):
+    base = dict(seq=1, time=12.5, pid=42, op=Operation.OPEN,
+                path="/home/u/a.c", ok=True, program="cc")
+    base.update(overrides)
+    return TraceRecord(**base)
+
+
+class TestRoundTrip:
+    def test_simple(self):
+        record = _record()
+        assert parse_record(format_record(record)) == record
+
+    def test_rename_two_paths(self):
+        record = _record(op=Operation.RENAME, path="a", path2="b")
+        assert parse_record(format_record(record)) == record
+
+    def test_failure_flag(self):
+        record = _record(ok=False)
+        assert not parse_record(format_record(record)).ok
+
+    def test_path_with_tab_and_newline(self):
+        record = _record(path="/weird\tname\nfile")
+        assert parse_record(format_record(record)).path == "/weird\tname\nfile"
+
+    def test_path_with_backslash(self):
+        record = _record(path="/a\\b")
+        assert parse_record(format_record(record)).path == "/a\\b"
+
+    def test_malformed_line_raises(self):
+        with pytest.raises(ValueError):
+            parse_record("1\t2\t3")
+
+    def test_stream_roundtrip(self):
+        records = [_record(seq=i, op=op) for i, op in enumerate(Operation)]
+        buffer = io.StringIO()
+        count = write_trace(records, buffer)
+        assert count == len(records)
+        buffer.seek(0)
+        assert list(read_trace(buffer)) == records
+
+    def test_bad_header_rejected(self):
+        with pytest.raises(ValueError):
+            list(read_trace(io.StringIO("not a trace\n")))
+
+    def test_comments_and_blanks_skipped(self):
+        buffer = io.StringIO()
+        write_trace([_record()], buffer)
+        buffer.write("\n# comment\n")
+        buffer.seek(0)
+        assert len(list(read_trace(buffer))) == 1
+
+    def test_file_roundtrip(self, tmp_path):
+        from repro.tracing import read_trace_file, write_trace_file
+        records = [_record(seq=i) for i in range(10)]
+        path = str(tmp_path / "trace.txt")
+        write_trace_file(records, path)
+        assert read_trace_file(path) == records
+
+
+_safe_text = st.text(
+    st.characters(blacklist_categories=("Cs",)), max_size=30)
+
+
+class TestRoundTripProperties:
+    @given(
+        seq=st.integers(min_value=0, max_value=10**9),
+        time=st.floats(min_value=0, max_value=1e9, allow_nan=False),
+        pid=st.integers(min_value=1, max_value=10**6),
+        op=st.sampled_from(list(Operation)),
+        path=_safe_text,
+        path2=_safe_text,
+        ok=st.booleans(),
+        entries=st.integers(min_value=0, max_value=10**6),
+    )
+    def test_any_record_roundtrips(self, seq, time, pid, op, path, path2, ok, entries):
+        record = TraceRecord(seq=seq, time=time, pid=pid, op=op, path=path,
+                             path2=path2, ok=ok, entries=entries)
+        parsed = parse_record(format_record(record))
+        assert parsed.path == record.path
+        assert parsed.path2 == record.path2
+        assert parsed.op is record.op
+        assert parsed.ok == record.ok
+        assert parsed.time == pytest.approx(record.time, abs=1e-6)
+
+
+class TestGzipTraces:
+    def test_gz_roundtrip(self, tmp_path):
+        from repro.tracing import read_trace_file, write_trace_file
+        records = [_record(seq=i) for i in range(50)]
+        path = str(tmp_path / "trace.txt.gz")
+        write_trace_file(records, path)
+        assert read_trace_file(path) == records
+
+    def test_gz_actually_compressed(self, tmp_path):
+        import gzip
+        from repro.tracing import write_trace_file
+        records = [_record(seq=i) for i in range(50)]
+        path = str(tmp_path / "trace.txt.gz")
+        write_trace_file(records, path)
+        with open(path, "rb") as stream:
+            assert stream.read(2) == b"\x1f\x8b"   # gzip magic
+
+    def test_plain_still_plain(self, tmp_path):
+        from repro.tracing import write_trace_file
+        path = str(tmp_path / "trace.txt")
+        write_trace_file([_record()], path)
+        with open(path) as stream:
+            assert stream.readline().startswith("#seer-trace")

@@ -1,0 +1,49 @@
+"""Tests for trace summary statistics."""
+
+from repro.tracing import Operation, TraceRecord, summarize_trace
+
+
+def _records():
+    return [
+        TraceRecord(seq=1, time=0.0, pid=10, op=Operation.OPEN, path="/a", program="cc"),
+        TraceRecord(seq=2, time=1.0, pid=10, op=Operation.CLOSE, path="/a", program="cc"),
+        TraceRecord(seq=3, time=2.0, pid=11, op=Operation.OPEN, path="/b",
+                    ok=False, program="ed"),
+        TraceRecord(seq=4, time=3600.0, pid=11, op=Operation.EXIT, program="ed"),
+    ]
+
+
+class TestSummarizeTrace:
+    def test_counts(self):
+        stats = summarize_trace(_records())
+        assert stats.operations == 4
+        assert stats.by_operation[Operation.OPEN] == 2
+        assert stats.by_operation[Operation.EXIT] == 1
+
+    def test_distincts(self):
+        stats = summarize_trace(_records())
+        assert stats.distinct_files == 2
+        assert stats.distinct_processes == 2
+        assert stats.distinct_programs == 2
+
+    def test_failures(self):
+        assert summarize_trace(_records()).failures == 1
+
+    def test_duration(self):
+        assert summarize_trace(_records()).duration == 3600.0
+
+    def test_empty_trace(self):
+        stats = summarize_trace([])
+        assert stats.operations == 0
+        assert stats.duration == 0.0
+
+    def test_format_mentions_counts(self):
+        text = summarize_trace(_records()).format()
+        assert "operations:" in text
+        assert "open" in text
+
+    def test_trace_record_replace(self):
+        record = _records()[0]
+        changed = record.replace(path="/z", ok=False)
+        assert changed.path == "/z" and not changed.ok
+        assert record.path == "/a"  # original untouched

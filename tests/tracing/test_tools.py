@@ -1,0 +1,147 @@
+"""Tests for trace filtering, merging and anonymization."""
+
+import pytest
+
+from repro.tracing import Operation, TraceRecord
+from repro.tracing.tools import (
+    PathAnonymizer,
+    anonymize_trace,
+    filter_trace,
+    merge_traces,
+    split_by_day,
+    time_slice,
+)
+
+
+def rec(seq, time, pid=1, op=Operation.OPEN, path="/home/u/f", path2=""):
+    return TraceRecord(seq=seq, time=time, pid=pid, op=op, path=path,
+                       path2=path2)
+
+
+@pytest.fixture
+def records():
+    return [
+        rec(1, 0.0, pid=1, path="/home/u/proj/a.c"),
+        rec(2, 10.0, pid=2, op=Operation.STAT, path="/home/u/proj/b.c"),
+        rec(3, 20.0, pid=1, op=Operation.CLOSE, path="/home/u/proj/a.c"),
+        rec(4, 100.0, pid=3, path="/etc/passwd"),
+    ]
+
+
+class TestFilter:
+    def test_time_window(self, records):
+        out = list(filter_trace(records, start=5.0, end=50.0))
+        assert [r.seq for r in out] == [2, 3]
+
+    def test_pids(self, records):
+        out = list(filter_trace(records, pids={1}))
+        assert [r.seq for r in out] == [1, 3]
+
+    def test_operations(self, records):
+        out = list(filter_trace(records, operations={Operation.STAT}))
+        assert [r.seq for r in out] == [2]
+
+    def test_path_prefix(self, records):
+        out = list(filter_trace(records, path_prefix="/etc"))
+        assert [r.seq for r in out] == [4]
+
+    def test_predicate(self, records):
+        out = list(filter_trace(records, predicate=lambda r: r.pid == 3))
+        assert [r.seq for r in out] == [4]
+
+    def test_combined(self, records):
+        out = list(filter_trace(records, pids={1, 2}, end=15.0))
+        assert [r.seq for r in out] == [1, 2]
+
+    def test_time_slice(self, records):
+        assert [r.seq for r in time_slice(records, 0.0, 11.0)] == [1, 2]
+
+
+class TestMerge:
+    def test_time_ordering(self):
+        first = [rec(1, 0.0), rec(2, 50.0)]
+        second = [rec(1, 25.0), rec(2, 75.0)]
+        merged = merge_traces(first, second)
+        assert [r.time for r in merged] == [0.0, 25.0, 50.0, 75.0]
+
+    def test_renumbered(self):
+        merged = merge_traces([rec(9, 0.0)], [rec(9, 1.0)])
+        assert [r.seq for r in merged] == [1, 2]
+
+    def test_no_renumber(self):
+        merged = merge_traces([rec(9, 0.0)], renumber=False)
+        assert merged[0].seq == 9
+
+    def test_empty_streams(self):
+        assert merge_traces([], []) == []
+
+
+class TestAnonymizer:
+    def test_structure_preserved(self):
+        anonymizer = PathAnonymizer(salt="s")
+        out = anonymizer.anonymize_path("/home/u/proj/main.c")
+        assert out.startswith("/")
+        assert out.count("/") == 4
+        assert out.endswith(".c")
+        assert "main" not in out
+
+    def test_stable_mapping(self):
+        anonymizer = PathAnonymizer(salt="s")
+        first = anonymizer.anonymize_path("/home/u/a.c")
+        second = anonymizer.anonymize_path("/home/u/a.c")
+        assert first == second
+
+    def test_same_component_same_token(self):
+        anonymizer = PathAnonymizer(salt="s")
+        one = anonymizer.anonymize_path("/home/u/x")
+        two = anonymizer.anonymize_path("/home/v/x")
+        assert one.split("/")[-1] == two.split("/")[-1]
+
+    def test_different_salt_different_tokens(self):
+        a = PathAnonymizer(salt="a").anonymize_path("/home/u/f")
+        b = PathAnonymizer(salt="b").anonymize_path("/home/u/f")
+        assert a != b
+
+    def test_dotfiles_stay_dotfiles(self):
+        out = PathAnonymizer(salt="s").anonymize_path("/home/u/.login")
+        assert out.split("/")[-1].startswith(".")
+
+    def test_kept_prefixes_untouched(self):
+        anonymizer = PathAnonymizer(salt="s", keep_prefixes=["/etc"])
+        assert anonymizer.anonymize_path("/etc/passwd") == "/etc/passwd"
+
+    def test_relative_paths_handled(self):
+        out = PathAnonymizer(salt="s").anonymize_path("../up/main.c")
+        assert out.startswith("../")
+        assert out.endswith(".c")
+
+    def test_empty_path(self):
+        assert PathAnonymizer().anonymize_path("") == ""
+
+    def test_anonymize_trace_keeps_system_paths(self, records):
+        out = anonymize_trace(records, salt="s")
+        assert out[-1].path == "/etc/passwd"
+        assert "proj" not in out[0].path
+
+    def test_anonymized_trace_still_joins(self, records):
+        out = anonymize_trace(records, salt="s")
+        # Records 1 and 3 referenced the same file; they still do.
+        assert out[0].path == out[2].path
+
+
+class TestSplitByDay:
+    def test_partition(self):
+        records = [rec(1, 0.0), rec(2, 1000.0), rec(3, 90_000.0)]
+        windows = split_by_day(records)
+        assert len(windows) == 2
+        assert [r.seq for r in windows[0]] == [1, 2]
+        assert [r.seq for r in windows[1]] == [3]
+
+    def test_gap_days_empty(self):
+        records = [rec(1, 0.0), rec(2, 3 * 86_400.0)]
+        windows = split_by_day(records)
+        assert len(windows) == 4
+        assert windows[1] == [] and windows[2] == []
+
+    def test_empty(self):
+        assert split_by_day([]) == []

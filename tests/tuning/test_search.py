@@ -1,0 +1,114 @@
+"""Tests for the parameter-space search (paper section 4.9)."""
+
+import pytest
+
+from repro.core.parameters import SeerParameters
+from repro.simulation import SIM_PARAMETERS
+from repro.tuning import (
+    EvaluationResult,
+    GridSearch,
+    RandomSearch,
+    evaluate_parameters,
+    hoard_overhead_objective,
+    sweep_parameter,
+)
+from repro.workload import generate_machine_trace, machine_profile
+
+
+@pytest.fixture(scope="module")
+def traces():
+    return [generate_machine_trace(machine_profile("E"), seed=3, days=14)]
+
+
+class TestObjective:
+    def test_overhead_at_least_near_one(self, traces):
+        score = hoard_overhead_objective(traces[0], SIM_PARAMETERS)
+        assert score >= 0.9
+
+    def test_empty_trace_infinite(self, traces):
+        import copy
+        empty = copy.copy(traces[0])
+        empty.records = []
+        assert hoard_overhead_objective(empty, SIM_PARAMETERS) == float("inf")
+
+    def test_evaluate_across_machines(self, traces):
+        result = evaluate_parameters(SIM_PARAMETERS, traces)
+        assert result.per_machine.keys() == {"E"}
+        assert result.score == pytest.approx(
+            sum(result.per_machine.values()) / len(result.per_machine))
+
+    def test_results_orderable(self):
+        a = EvaluationResult(SIM_PARAMETERS, score=1.0)
+        b = EvaluationResult(SIM_PARAMETERS, score=2.0)
+        assert a < b
+        assert min([b, a]) is a
+
+
+class TestGridSearch:
+    def test_point_count(self):
+        search = GridSearch(SIM_PARAMETERS,
+                            {"max_neighbors": [10, 20], "kf_fraction": [0.4, 0.5, 0.55]})
+        assert search.point_count() == 6
+
+    def test_runs_all_valid_points(self, traces):
+        search = GridSearch(SIM_PARAMETERS, {"max_neighbors": [10, 20]})
+        outcome = search.run(traces)
+        assert len(outcome.evaluations) == 2
+        assert outcome.best.score <= outcome.ranked()[-1].score
+
+    def test_invalid_combinations_skipped(self, traces):
+        # kn_fraction below kf_fraction is invalid and must be skipped.
+        search = GridSearch(SIM_PARAMETERS,
+                            {"kn_fraction": [0.3, 0.7], "kf_fraction": [0.5]})
+        outcome = search.run(traces)
+        assert outcome.skipped_invalid == 1
+        assert len(outcome.evaluations) == 1
+
+    def test_best_requires_evaluations(self):
+        from repro.tuning.search import SearchOutcome
+        with pytest.raises(ValueError):
+            SearchOutcome().best
+
+
+class TestRandomSearch:
+    def test_samples_count(self, traces):
+        search = RandomSearch(SIM_PARAMETERS,
+                              {"max_neighbors": [10, 20, 30]},
+                              samples=4, seed=1)
+        outcome = search.run(traces)
+        assert len(outcome.evaluations) + outcome.skipped_invalid == 4
+
+    def test_numeric_ranges(self, traces):
+        search = RandomSearch(SIM_PARAMETERS,
+                              {"kf_fraction": (0.30, 0.60)},
+                              samples=3, seed=2)
+        outcome = search.run(traces)
+        for evaluation in outcome.evaluations:
+            assert 0.30 <= evaluation.parameters.kf_fraction <= 0.60
+
+    def test_integer_ranges_stay_integers(self, traces):
+        search = RandomSearch(SIM_PARAMETERS, {"max_neighbors": (5, 30)},
+                              samples=3, seed=3)
+        outcome = search.run(traces)
+        for evaluation in outcome.evaluations:
+            assert isinstance(evaluation.parameters.max_neighbors, int)
+
+    def test_deterministic_for_seed(self, traces):
+        def run(seed):
+            return RandomSearch(SIM_PARAMETERS, {"max_neighbors": (5, 30)},
+                                samples=3, seed=seed).run(traces)
+        first, second = run(7), run(7)
+        assert [e.parameters.max_neighbors for e in first.evaluations] == \
+            [e.parameters.max_neighbors for e in second.evaluations]
+
+
+class TestSweep:
+    def test_sweep_returns_point_per_value(self, traces):
+        points = sweep_parameter(SIM_PARAMETERS, "max_neighbors",
+                                 [10, 20], traces)
+        assert [p.value for p in points] == [10, 20]
+
+    def test_sweep_skips_invalid(self, traces):
+        points = sweep_parameter(SIM_PARAMETERS, "kn_fraction",
+                                 [0.1, 0.7], traces)   # 0.1 < kf_fraction
+        assert [p.value for p in points] == [0.7]

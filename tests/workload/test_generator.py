@@ -1,0 +1,108 @@
+"""Tests for machine profiles and the trace generator."""
+
+import pytest
+
+from repro.tracing import Operation, summarize_trace
+from repro.workload import (
+    MACHINES,
+    generate_machine_trace,
+    machine_profile,
+)
+from repro.workload.projects import FileRole
+
+
+class TestMachineProfiles:
+    def test_all_nine_machines(self):
+        assert sorted(MACHINES) == list("ABCDEFGHI")
+
+    def test_table3_statistics_verbatim(self):
+        # Spot-check the published Table 3 numbers.
+        f = machine_profile("F")
+        assert f.days_measured == 252
+        assert f.n_disconnections == 184
+        assert f.mean_disconnection_hours == pytest.approx(9.30)
+        assert f.median_disconnection_hours == pytest.approx(2.00)
+        assert f.max_disconnection_hours == pytest.approx(90.62)
+        b = machine_profile("B")
+        assert b.n_disconnections == 10
+        assert b.mean_disconnection_hours == pytest.approx(43.20)
+
+    def test_hoard_sizes_from_table4(self):
+        MB = 1024 * 1024
+        assert machine_profile("G").hoard_size_bytes == 98 * MB
+        assert machine_profile("F").hoard_size_bytes == 50 * MB
+
+    def test_investigator_machines(self):
+        # The paper evaluates investigators on B, F and G.
+        for name in ("B", "F", "G"):
+            assert machine_profile(name).uses_investigators
+        assert not machine_profile("A").uses_investigators
+
+    def test_lowercase_lookup(self):
+        assert machine_profile("f") is machine_profile("F")
+
+    def test_unknown_machine_rejected(self):
+        with pytest.raises(ValueError):
+            machine_profile("Z")
+
+
+class TestGeneratedTrace:
+    @pytest.fixture(scope="class")
+    def trace(self):
+        return generate_machine_trace(machine_profile("D"), seed=7, days=14)
+
+    def test_records_nonempty_and_ordered(self, trace):
+        assert len(trace.records) > 1000
+        times = [r.time for r in trace.records]
+        assert times == sorted(times)
+
+    def test_seq_strictly_increasing(self, trace):
+        seqs = [r.seq for r in trace.records]
+        assert all(b > a for a, b in zip(seqs, seqs[1:]))
+
+    def test_operation_mix_realistic(self, trace):
+        stats = summarize_trace(trace.records)
+        assert stats.by_operation[Operation.OPEN] > 0
+        assert stats.by_operation[Operation.EXEC] > 0
+        assert stats.by_operation[Operation.STAT] > 0
+        assert stats.by_operation[Operation.READDIR] > 0
+
+    def test_schedule_spans_trace(self, trace):
+        assert trace.schedule.total_duration >= trace.records[-1].time
+
+    def test_roles_cover_project_files(self, trace):
+        primaries = [path for path, role in trace.roles.items()
+                     if role is FileRole.PRIMARY]
+        assert primaries
+        assert all(path.startswith("/home/u/") for path in primaries)
+
+    def test_sizes_resolvable(self, trace):
+        assert trace.size_of("/lib/libc.so") > 0
+        assert trace.size_of("/nonexistent") == 0
+
+    def test_deterministic_for_seed(self):
+        first = generate_machine_trace(machine_profile("E"), seed=3, days=7)
+        second = generate_machine_trace(machine_profile("E"), seed=3, days=7)
+        assert len(first.records) == len(second.records)
+        assert [r.path for r in first.records[:200]] == \
+            [r.path for r in second.records[:200]]
+
+    def test_different_seeds_differ(self):
+        first = generate_machine_trace(machine_profile("E"), seed=3, days=7)
+        second = generate_machine_trace(machine_profile("E"), seed=4, days=7)
+        assert [r.path for r in first.records[:500]] != \
+            [r.path for r in second.records[:500]]
+
+    def test_activity_scales_with_profile(self):
+        light = generate_machine_trace(machine_profile("C"), seed=1, days=14)
+        heavy = generate_machine_trace(machine_profile("F"), seed=1, days=14)
+        assert len(heavy.records) > 2 * len(light.records)
+
+    def test_archives_built(self, trace):
+        assert trace.kernel.fs.exists("/home/u/archive/old0")
+
+    def test_days_override_scales_disconnections(self):
+        short = generate_machine_trace(machine_profile("D"), seed=1, days=14)
+        profile = machine_profile("D")
+        expected = round(profile.n_disconnections * 14 / profile.days_measured)
+        assert abs(len(short.schedule.disconnections()) - expected) <= 2

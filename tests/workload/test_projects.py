@@ -1,0 +1,164 @@
+"""Tests for project synthesis and project activities."""
+
+import random
+
+import pytest
+
+from repro.fs import FileSystem
+from repro.kernel import Kernel
+from repro.tracing import Operation
+from repro.workload.projects import (
+    ArchiveProject,
+    CProject,
+    DocumentProject,
+    FileRole,
+    MailProject,
+    build_system_tree,
+    spawn_program,
+    SHARED_LIBRARY,
+)
+from repro.workload.sizes import FileSizeModel
+
+
+@pytest.fixture
+def kernel():
+    k = Kernel()
+    sizes = FileSizeModel(random.Random(0))
+    build_system_tree(k.fs, sizes)
+    return k
+
+
+@pytest.fixture
+def shell(kernel):
+    return kernel.processes.spawn(ppid=1, program="sh", uid=1000, cwd="/home/u")
+
+
+def records_of(kernel):
+    records = []
+    kernel.add_sink(records.append)
+    return records
+
+
+class TestSystemTree:
+    def test_programs_exist(self, kernel):
+        for program in ("/bin/vi", "/bin/cc", "/bin/make", "/bin/find"):
+            assert kernel.fs.exists(program)
+
+    def test_roles_assigned(self, kernel):
+        sizes = FileSizeModel(random.Random(0))
+        fs = FileSystem()
+        roles = build_system_tree(fs, sizes)
+        assert roles["/bin/vi"] is FileRole.TOOL
+        assert roles["/home/u/.login"] is FileRole.STARTUP
+
+    def test_devices_created(self, kernel):
+        from repro.fs import FileKind
+        assert kernel.fs.kind_of("/dev/console") is FileKind.DEVICE
+
+    def test_spawn_program_opens_libc(self, kernel, shell):
+        records = records_of(kernel)
+        child = spawn_program(kernel, shell, "/bin/vi")
+        opened = [r.path for r in records if r.op is Operation.OPEN]
+        assert SHARED_LIBRARY in opened
+        assert child.program == "vi"
+
+
+class TestCProject:
+    @pytest.fixture
+    def project(self, kernel):
+        project = CProject("demo", "/home/u/src/demo", n_sources=4, n_headers=2)
+        project.build(kernel.fs, FileSizeModel(random.Random(1)))
+        return project
+
+    def test_files_created(self, kernel, project):
+        assert kernel.fs.exists("/home/u/src/demo/demo0.c")
+        assert kernel.fs.exists("/home/u/src/demo/Makefile")
+        assert kernel.fs.exists("/home/u/src/demo/demo")
+
+    def test_sources_have_include_lines(self, kernel, project):
+        content = kernel.fs.stat("/home/u/src/demo/demo1.c").content
+        assert '#include "demo0.h"' in content
+
+    def test_roles(self, project):
+        assert project.role_of("/home/u/src/demo/demo0.c") is FileRole.PRIMARY
+        assert project.role_of("/home/u/src/demo/Makefile") is FileRole.AUXILIARY
+
+    def test_edit_cycle_emits_editor_traffic(self, kernel, shell, project):
+        records = records_of(kernel)
+        project.edit_cycle(kernel, shell, random.Random(2))
+        execs = [r.path for r in records if r.op is Operation.EXEC]
+        assert "/bin/vi" in execs
+        assert any(r.op is Operation.WRITE_CLOSE for r in records)
+
+    def test_build_cycle_compiles_dirty_sources(self, kernel, shell, project):
+        records = records_of(kernel)
+        project.build_cycle(kernel, shell, random.Random(3))
+        opened = {r.path for r in records
+                  if r.op in (Operation.OPEN, Operation.CREATE) and r.ok}
+        # Freshly built project: everything is dirty, all headers read.
+        assert any(path.endswith(".h") for path in opened)
+        # Objects are created via /tmp + rename, as compilers do.
+        renames = [r for r in records if r.op is Operation.RENAME]
+        assert renames and renames[0].path.startswith("/tmp/")
+
+    def test_null_build_stats_only(self, kernel, shell, project):
+        project.build_cycle(kernel, shell, random.Random(3))   # clean now
+        records = records_of(kernel)
+        project.build_cycle(kernel, shell, random.Random(4))
+        assert all(r.op is not Operation.CREATE for r in records)
+        assert any(r.op is Operation.STAT for r in records)
+
+    def test_objects_created_after_build(self, kernel, shell, project):
+        project.build_cycle(kernel, shell, random.Random(5))
+        assert kernel.fs.exists("/home/u/src/demo/demo0.o")
+
+
+class TestDocumentProject:
+    @pytest.fixture
+    def project(self, kernel):
+        project = DocumentProject("paper", "/home/u/doc/paper")
+        project.build(kernel.fs, FileSizeModel(random.Random(1)))
+        return project
+
+    def test_files_created(self, kernel, project):
+        assert kernel.fs.exists("/home/u/doc/paper/paper.tex")
+        assert kernel.fs.exists("/home/u/doc/paper/paper.bib")
+
+    def test_format_cycle_creates_outputs(self, kernel, shell, project):
+        project.format_cycle(kernel, shell, random.Random(2))
+        assert kernel.fs.exists("/home/u/doc/paper/paper.aux")
+        assert kernel.fs.exists("/home/u/doc/paper/paper.dvi")
+        assert project.role_of("/home/u/doc/paper/paper.aux") is FileRole.PRELOAD
+
+    def test_figures_informational(self, project):
+        assert project.role_of("/home/u/doc/paper/fig0.ps") is FileRole.INFORMATIONAL
+
+
+class TestMailAndArchive:
+    def test_mail_files(self, kernel):
+        mail = MailProject()
+        mail.build(kernel.fs, FileSizeModel(random.Random(1)))
+        assert kernel.fs.exists("/home/u/Mail/inbox")
+        assert len(mail.folders) == 4
+
+    def test_mail_work_reads_inbox(self, kernel, shell):
+        mail = MailProject()
+        mail.build(kernel.fs, FileSizeModel(random.Random(1)))
+        records = records_of(kernel)
+        mail.work(kernel, shell, random.Random(2))
+        assert any(r.path == "/home/u/Mail/inbox" for r in records)
+
+    def test_archive_files(self, kernel):
+        archive = ArchiveProject("old", "/home/u/archive/old", n_files=25)
+        archive.build(kernel.fs, FileSizeModel(random.Random(1)))
+        assert len(archive.files()) == 25
+        assert all(role is FileRole.INFORMATIONAL
+                   for role in archive.roles.values())
+
+    def test_archive_browse_touches_few(self, kernel, shell):
+        archive = ArchiveProject("old", "/home/u/archive/old", n_files=25)
+        archive.build(kernel.fs, FileSizeModel(random.Random(1)))
+        records = records_of(kernel)
+        archive.work(kernel, shell, random.Random(2))
+        opens = [r for r in records if r.op is Operation.OPEN]
+        assert 1 <= len(opens) <= 2

@@ -1,0 +1,159 @@
+"""Tests for connectivity schedules (paper section 5.1.1)."""
+
+import random
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.workload.sessions import (
+    HOUR,
+    Period,
+    PeriodKind,
+    Schedule,
+    fit_lognormal,
+    generate_schedule,
+    squash_brief_periods,
+)
+
+
+class TestFitLognormal:
+    def test_median_is_exp_mu(self):
+        import math
+        mu, sigma = fit_lognormal(mean=10.0, median=2.0)
+        assert math.exp(mu) == pytest.approx(2.0)
+
+    def test_mean_recovered(self):
+        import math
+        mu, sigma = fit_lognormal(mean=10.0, median=2.0)
+        assert math.exp(mu + sigma ** 2 / 2) == pytest.approx(10.0)
+
+    def test_mean_equal_median_degenerate(self):
+        mu, sigma = fit_lognormal(mean=2.0, median=2.0)
+        assert sigma == 0.0
+
+    def test_mean_below_median_degenerate(self):
+        mu, sigma = fit_lognormal(mean=1.0, median=2.0)
+        assert sigma == 0.0
+
+    def test_invalid_rejected(self):
+        with pytest.raises(ValueError):
+            fit_lognormal(mean=0.0, median=1.0)
+
+
+class TestGenerateSchedule:
+    def _schedule(self, **overrides):
+        defaults = dict(n_disconnections=50, mean_hours=9.3,
+                        median_hours=2.0, max_hours=90.0, days=100,
+                        rng=random.Random(1))
+        defaults.update(overrides)
+        return generate_schedule(**defaults)
+
+    def test_disconnection_count(self):
+        schedule = self._schedule()
+        assert len(schedule.disconnections()) == 50
+
+    def test_durations_within_bounds(self):
+        schedule = self._schedule()
+        for period in schedule.disconnections():
+            assert 0.25 <= period.duration_hours <= 90.0
+
+    def test_mean_close_to_target(self):
+        schedule = self._schedule(n_disconnections=200, days=400)
+        durations = [p.duration_hours for p in schedule.disconnections()]
+        mean = sum(durations) / len(durations)
+        assert mean == pytest.approx(9.3, rel=0.1)
+
+    def test_periods_are_contiguous_and_ordered(self):
+        schedule = self._schedule()
+        top_level = [p for p in schedule.periods
+                     if p.kind is not PeriodKind.SUSPENDED]
+        for earlier, later in zip(top_level, top_level[1:]):
+            assert earlier.end == pytest.approx(later.start)
+
+    def test_alternating_kinds(self):
+        schedule = self._schedule()
+        top_level = [p.kind for p in schedule.periods
+                     if p.kind is not PeriodKind.SUSPENDED]
+        for first, second in zip(top_level, top_level[1:]):
+            assert first != second
+
+    def test_suspensions_nested_in_long_disconnections(self):
+        schedule = self._schedule()
+        for suspension in schedule.suspensions():
+            containing = [d for d in schedule.disconnections()
+                          if d.start <= suspension.start and
+                          suspension.end <= d.end]
+            assert len(containing) == 1
+            assert containing[0].duration_hours > 8.0
+
+    def test_active_disconnected_time_excludes_suspensions(self):
+        schedule = self._schedule()
+        for disconnection in schedule.disconnections():
+            active = schedule.active_disconnected_time(disconnection)
+            assert 0 <= active <= disconnection.duration
+
+    def test_deterministic_for_seed(self):
+        a = self._schedule(rng=random.Random(9))
+        b = self._schedule(rng=random.Random(9))
+        assert [(p.kind, p.start, p.end) for p in a.periods] == \
+            [(p.kind, p.start, p.end) for p in b.periods]
+
+
+class TestSquash:
+    def _make(self, spec):
+        periods = []
+        clock = 0.0
+        for kind, hours in spec:
+            periods.append(Period(kind, clock, clock + hours * HOUR))
+            clock += hours * HOUR
+        return Schedule(periods=periods)
+
+    def test_brief_disconnection_dropped(self):
+        schedule = self._make([
+            (PeriodKind.CONNECTED, 2.0),
+            (PeriodKind.DISCONNECTED, 0.1),   # < 15 min
+            (PeriodKind.CONNECTED, 2.0),
+        ])
+        squashed = squash_brief_periods(schedule)
+        assert squashed.disconnections() == []
+        assert len(squashed.periods) == 1   # merged into one connected
+
+    def test_brief_reconnection_merged(self):
+        # A brief reconnection (e.g. to transfer mail) joins the two
+        # adjacent disconnections, reducing the count and raising the
+        # mean -- the perturbation the paper notes is detrimental.
+        schedule = self._make([
+            (PeriodKind.CONNECTED, 2.0),
+            (PeriodKind.DISCONNECTED, 3.0),
+            (PeriodKind.CONNECTED, 0.1),      # < 15 min
+            (PeriodKind.DISCONNECTED, 4.0),
+        ])
+        squashed = squash_brief_periods(schedule)
+        disconnections = squashed.disconnections()
+        assert len(disconnections) == 1
+        assert disconnections[0].duration_hours == pytest.approx(7.1)
+
+    def test_normal_periods_untouched(self):
+        schedule = self._make([
+            (PeriodKind.CONNECTED, 5.0),
+            (PeriodKind.DISCONNECTED, 3.0),
+            (PeriodKind.CONNECTED, 5.0),
+        ])
+        squashed = squash_brief_periods(schedule)
+        assert len(squashed.periods) == 3
+
+    def test_minimum_duration_matches_table3(self):
+        # Table 3's minimum durations are ~0.25 h because of the
+        # 15-minute rule.
+        assert 15 * 60.0 / HOUR == pytest.approx(0.25)
+
+
+class TestPeriod:
+    def test_duration_hours(self):
+        period = Period(PeriodKind.DISCONNECTED, 0.0, 2 * HOUR)
+        assert period.duration_hours == pytest.approx(2.0)
+
+    def test_total_duration(self):
+        schedule = Schedule(periods=[Period(PeriodKind.CONNECTED, 0, 100)])
+        assert schedule.total_duration == 100
+        assert Schedule().total_duration == 0.0

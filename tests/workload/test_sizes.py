@@ -1,0 +1,47 @@
+"""Tests for the geometric file-size model (paper section 5.1.2)."""
+
+import random
+
+import pytest
+
+from repro.workload.sizes import GEOMETRIC_P, MEAN_FILE_SIZE, FileSizeModel
+
+
+class TestFileSizeModel:
+    def test_paper_parameter(self):
+        assert GEOMETRIC_P == pytest.approx(0.00007)
+        assert MEAN_FILE_SIZE == 14_284
+
+    def test_mean_matches_paper(self):
+        model = FileSizeModel(random.Random(42))
+        samples = [model.sample() for _ in range(20_000)]
+        mean = sum(samples) / len(samples)
+        # 1/p = 14286; allow sampling noise.
+        assert mean == pytest.approx(1 / GEOMETRIC_P, rel=0.05)
+
+    def test_sizes_positive(self):
+        model = FileSizeModel(random.Random(1))
+        assert all(model.sample() >= 1 for _ in range(1000))
+
+    def test_deterministic_for_seed(self):
+        first = [FileSizeModel(random.Random(7)).sample() for _ in range(5)]
+        second = [FileSizeModel(random.Random(7)).sample() for _ in range(5)]
+        assert first == second
+
+    def test_scaled_categories_ordered(self):
+        model = FileSizeModel(random.Random(3))
+        # Statistically: libraries > binaries > documents > headers.
+        libs = sum(model.shared_library() for _ in range(500))
+        model2 = FileSizeModel(random.Random(3))
+        headers = sum(model2.header_file() for _ in range(500))
+        assert libs > headers
+
+    def test_invalid_parameter_rejected(self):
+        with pytest.raises(ValueError):
+            FileSizeModel(p=0.0)
+        with pytest.raises(ValueError):
+            FileSizeModel(p=1.0)
+
+    def test_scale_never_zero(self):
+        model = FileSizeModel(random.Random(5))
+        assert model.sample_scaled(0.0000001) >= 1
