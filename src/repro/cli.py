@@ -52,6 +52,21 @@ def _trace_for(args):
                                   seed=args.seed, days=args.days)
 
 
+def _print_metrics(metrics, stream=sys.stderr) -> None:
+    """Render an ingestion-pipeline metrics snapshot (``--metrics``)."""
+    if not metrics:
+        print("(no ingestion metrics collected)", file=stream)
+        return
+    print("ingestion metrics:", file=stream)
+    for name in sorted(metrics):
+        value = metrics[name]
+        if isinstance(value, float) and not value.is_integer():
+            rendered = f"{value:,.3f}"
+        else:
+            rendered = f"{int(value):,d}"
+        print(f"  {name:<42s} {rendered:>16s}", file=stream)
+
+
 def cmd_generate(args) -> int:
     trace = _trace_for(args)
     count = write_trace_file(trace.records, args.output)
@@ -84,6 +99,8 @@ def cmd_missfree(args) -> int:
     if args.figure3:
         print()
         print(render_figure3(result))
+    if args.metrics:
+        _print_metrics(result.metrics)
     return 0
 
 
@@ -95,6 +112,8 @@ def cmd_live(args) -> int:
     print(render_table4([result]))
     print()
     print(render_table5([result]))
+    if args.metrics:
+        _print_metrics(result.metrics)
     return 0
 
 
@@ -181,10 +200,16 @@ def build_parser() -> argparse.ArgumentParser:
                           help="include the SPY UTILITY baseline")
     missfree.add_argument("--figure3", action="store_true",
                           help="render the per-window series")
+    missfree.add_argument("--metrics", action="store_true",
+                          help="print ingestion-pipeline counters "
+                               "(references/sec, prunes, evictions, "
+                               "cluster-build latency) to stderr")
     missfree.set_defaults(handler=cmd_missfree)
 
     live = commands.add_parser("live", help="live-usage simulation")
     _add_machine_arguments(live)
+    live.add_argument("--metrics", action="store_true",
+                      help="print ingestion-pipeline counters to stderr")
     live.set_defaults(handler=cmd_live)
 
     figure2 = commands.add_parser("figure2", help="multi-machine Figure 2")

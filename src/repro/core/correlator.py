@@ -24,6 +24,7 @@ from repro.core.distance import LifetimeDistanceCalculator
 from repro.core.neighbors import NeighborStore
 from repro.core.parameters import DEFAULT_PARAMETERS, SeerParameters
 from repro.fs.paths import directory_distance
+from repro.observability import Metrics
 
 
 class Action(enum.Enum):
@@ -63,6 +64,8 @@ class _ProcessStream:
     fork_base: int = 0            # calculator counter at fork time
     exec_image: Optional[str] = None
     pending_stat: Optional[str] = None
+    pending_stat_time: float = 0.0   # observed time of the pending stat
+    created_by_fork: bool = False    # stream began with a FORK record
 
 
 @dataclass
@@ -75,9 +78,10 @@ class Correlator:
     """Consumes :class:`ObservedReference` events, maintains relationships."""
 
     def __init__(self, parameters: SeerParameters = DEFAULT_PARAMETERS,
-                 seed: int = 0) -> None:
+                 seed: int = 0, metrics: Optional[Metrics] = None) -> None:
         self._parameters = parameters
-        self.store = NeighborStore(parameters, seed=seed)
+        self.metrics = metrics if metrics is not None else Metrics()
+        self.store = NeighborStore(parameters, seed=seed, metrics=self.metrics)
         self._streams: Dict[int, _ProcessStream] = {}
         self._recency: Dict[str, int] = {}
         self._recency_time: Dict[str, float] = {}
@@ -118,22 +122,23 @@ class Correlator:
         so a shared library cannot act as a bridge that merges all
         projects into one giant cluster.
         """
-        distance_fn = directory_distance if use_directory_distance else None
-        if self._parameters.stale_link_cutoff > 0:
-            neighbor_lists = self.store.neighbor_lists(
-                now=self._reference_counter,
-                stale_after=self._parameters.stale_link_cutoff)
-        else:
-            neighbor_lists = self.store.neighbor_lists()
-        if exclude:
-            neighbor_lists = {
-                file: neighbors - exclude
-                for file, neighbors in neighbor_lists.items()
-                if file not in exclude}
-        algorithm = SharedNeighborClustering(
-            neighbor_lists, parameters=self._parameters,
-            relations=relations, directory_distance=distance_fn)
-        return algorithm.cluster()
+        with self.metrics.timed("correlator.cluster_build"):
+            distance_fn = directory_distance if use_directory_distance else None
+            if self._parameters.stale_link_cutoff > 0:
+                neighbor_lists = self.store.neighbor_lists(
+                    now=self._reference_counter,
+                    stale_after=self._parameters.stale_link_cutoff)
+            else:
+                neighbor_lists = self.store.neighbor_lists()
+            if exclude:
+                neighbor_lists = {
+                    file: neighbors - exclude
+                    for file, neighbors in neighbor_lists.items()
+                    if file not in exclude}
+            algorithm = SharedNeighborClustering(
+                neighbor_lists, parameters=self._parameters,
+                relations=relations, directory_distance=distance_fn)
+            return algorithm.cluster()
 
     # ------------------------------------------------------------------
     # event handling
@@ -141,6 +146,7 @@ class Correlator:
     def handle(self, reference: ObservedReference) -> None:
         """Process one observed reference."""
         self.references_processed += 1
+        self.metrics.mark("correlator.ingest")
         action = reference.action
         stream = self._stream_for(reference.pid)
 
@@ -162,6 +168,7 @@ class Correlator:
             # the same file by the same process (section 4.8).
             self._flush_pending_stat(stream)
             stream.pending_stat = reference.path
+            stream.pending_stat_time = reference.time
         elif action is Action.EXEC:
             self._handle_exec(stream, reference)
         elif action is Action.EXIT:
@@ -174,13 +181,18 @@ class Correlator:
     # ------------------------------------------------------------------
     # per-action logic
     # ------------------------------------------------------------------
+    def _new_calculator(self) -> LifetimeDistanceCalculator:
+        return LifetimeDistanceCalculator(
+            lookback_window=self._parameters.lookback_window,
+            prune=self._parameters.prune_lookback,
+            compensate=self._parameters.emit_compensation,
+            metrics=self.metrics)
+
     def _stream_for(self, pid: int) -> _ProcessStream:
         stream = self._streams.get(pid)
         if stream is None:
             stream = _ProcessStream(
-                pid=pid, ppid=0,
-                calculator=LifetimeDistanceCalculator(
-                    lookback_window=self._parameters.lookback_window))
+                pid=pid, ppid=0, calculator=self._new_calculator())
             self._streams[pid] = stream
         return stream
 
@@ -189,11 +201,10 @@ class Correlator:
         if parent is not None:
             calculator = parent.calculator.clone()
         else:
-            calculator = LifetimeDistanceCalculator(
-                lookback_window=self._parameters.lookback_window)
+            calculator = self._new_calculator()
         self._streams[reference.pid] = _ProcessStream(
             pid=reference.pid, ppid=reference.ppid, calculator=calculator,
-            fork_base=calculator.opens_processed)
+            fork_base=calculator.opens_processed, created_by_fork=True)
 
     def _maybe_elide_stat(self, stream: _ProcessStream, path: str) -> None:
         if stream.pending_stat == path:
@@ -206,7 +217,10 @@ class Correlator:
             path = stream.pending_stat
             stream.pending_stat = None
             self._ingest_distances(stream.calculator.point_reference(path))
-            self._touch(path, 0.0)
+            # The stat materializes with the wall-clock time at which it
+            # was observed, not a zero time that would clobber the
+            # file's recency for hoard ranking.
+            self._touch(path, stream.pending_stat_time)
 
     def _record_open(self, stream: _ProcessStream, reference: ObservedReference) -> None:
         self._ingest_distances(stream.calculator.open(reference.path))
@@ -228,9 +242,15 @@ class Correlator:
         if stream.exec_image is not None:
             stream.calculator.close(stream.exec_image)
             stream.exec_image = None
-        parent = self._streams.get(stream.ppid)
-        if parent is not None:
-            parent.calculator.merge_from(stream.calculator, since=stream.fork_base)
+        # Merge the history back only into the process that actually
+        # forked this one.  Streams created on demand carry ppid 0, and
+        # merging those into an unrelated pid-0 stream would invent
+        # relationships between every orphan process's files.
+        if stream.created_by_fork and stream.ppid:
+            parent = self._streams.get(stream.ppid)
+            if parent is not None:
+                parent.calculator.merge_from(stream.calculator,
+                                             since=stream.fork_base)
         self._streams.pop(stream.pid, None)
 
     def _handle_delete(self, stream: _ProcessStream, reference: ObservedReference) -> None:
@@ -275,6 +295,8 @@ class Correlator:
                 if pending.path != path]
 
     def _ingest_distances(self, distances: List[Tuple[str, str, int]]) -> None:
+        if distances:
+            self.metrics.incr("correlator.distances_ingested", len(distances))
         for from_file, to_file, distance in distances:
             self.store.observe(from_file, to_file, float(distance),
                                now=self._reference_counter)
@@ -285,6 +307,7 @@ class Correlator:
         for pending in self._pending_deletions:
             if pending.deletion_number <= threshold:
                 if pending.path in self.store.marked_for_deletion:
+                    self.metrics.incr("correlator.deletions_expired")
                     self.store.remove_file(pending.path)
                     self._recency.pop(pending.path, None)
                     self._recency_time.pop(pending.path, None)

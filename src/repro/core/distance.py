@@ -21,6 +21,8 @@ import math
 from dataclasses import dataclass, field
 from typing import Dict, Iterable, Iterator, List, Optional, Tuple
 
+from repro.observability import Metrics
+
 
 class RefKind(enum.Enum):
     """Reference event kinds consumed by the distance calculators."""
@@ -117,42 +119,95 @@ class LifetimeDistanceCalculator:
     :meth:`open` reports the distances from previously-opened files to
     the newly-opened one, using the most recent open of each earlier
     file (the "closest pair" rule of footnote 1).
+
+    Bounded state (section 3.1.3): with a lookback window M set, an
+    entry whose most recent open has aged more than M opens into the
+    past can never again yield an in-window distance (ages only grow,
+    and a re-open re-keys the entry afresh), so it is *pruned* the
+    first time an open finds it aged out.  This bounds the per-open
+    cost by the window size plus the number of currently-open files,
+    instead of by every file the stream has ever touched.  At the
+    moment an entry ages out, its over-window distance is emitted once
+    (*compensate*), so the neighbor store can apply the paper's
+    compensation rule -- record distances beyond M as M -- rather than
+    silently losing the pair.  Files that are still open are exempt
+    from pruning: their distance is 0 regardless of age.
+
+    ``prune=False, compensate=False`` reproduces the historical
+    unbounded behaviour (skip over-window pairs, forget nothing); it is
+    kept as the reference for equivalence tests and as the baseline
+    for the ingest-throughput benchmark.
     """
 
-    def __init__(self, lookback_window: Optional[int] = None) -> None:
+    def __init__(self, lookback_window: Optional[int] = None,
+                 prune: bool = True, compensate: bool = True,
+                 metrics: Optional[Metrics] = None) -> None:
         self._open_counter = 0
         self._open_count: Dict[str, int] = {}       # currently-open fd count
         self._last_open_index: Dict[str, int] = {}  # most recent open seq
         self._lookback = lookback_window
+        self._prune = prune
+        self._compensate = compensate
+        self._metrics = metrics
 
     @property
     def opens_processed(self) -> int:
         return self._open_counter
 
+    @property
+    def tracked_files(self) -> int:
+        """Entries currently held (bounded by M + open files when pruning)."""
+        return len(self._last_open_index)
+
     def open(self, file: str) -> List[Tuple[str, str, int]]:
         """Record an open of *file*; returns ``(from, to, distance)`` pairs."""
         self._open_counter += 1
         index = self._open_counter
+        lookback = self._lookback
+        open_count = self._open_count
         results: List[Tuple[str, str, int]] = []
+        aged: List[str] = []
+        compensated = 0
         for other, other_index in self._last_open_index.items():
             if other == file:
                 continue
-            if self._open_count.get(other, 0) > 0:
-                distance = 0
-            else:
-                distance = index - other_index
-                if self._lookback is not None and distance > self._lookback:
-                    continue  # outside the update window (section 3.1.3)
+            if other in open_count:
+                results.append((other, file, 0))
+                continue
+            distance = index - other_index
+            if lookback is not None and distance > lookback:
+                # Outside the update window (section 3.1.3).  Emit the
+                # over-window distance once so the neighbor store can
+                # record it as the compensation distance, then drop the
+                # entry: it can never re-enter the window.
+                if self._compensate:
+                    results.append((other, file, distance))
+                    compensated += 1
+                if self._prune:
+                    aged.append(other)
+                continue
             results.append((other, file, distance))
+        if aged:
+            for other in aged:
+                del self._last_open_index[other]
+        if self._metrics is not None and (aged or compensated):
+            if aged:
+                self._metrics.incr("distance.pruned_entries", len(aged))
+            if compensated:
+                self._metrics.incr("distance.compensated_pairs", compensated)
         self._last_open_index[file] = index
-        self._open_count[file] = self._open_count.get(file, 0) + 1
+        open_count[file] = open_count.get(file, 0) + 1
         return results
 
     def close(self, file: str) -> None:
         """Record a close of *file* (tolerates unbalanced closes)."""
         count = self._open_count.get(file, 0)
-        if count > 0:
+        if count > 1:
             self._open_count[file] = count - 1
+        elif count == 1:
+            # Drop the key entirely so the open-count map stays bounded
+            # by the number of *currently* open files.
+            del self._open_count[file]
 
     def point_reference(self, file: str) -> List[Tuple[str, str, int]]:
         """An open immediately followed by a close (sections 3.1.1, 4.8)."""
@@ -169,11 +224,18 @@ class LifetimeDistanceCalculator:
         self._last_open_index.pop(file, None)
 
     def rename(self, old: str, new: str) -> None:
-        """Re-key a file's stream state across a rename (section 4.8)."""
+        """Re-key a file's stream state across a rename (section 4.8).
+
+        When both names are open (rename over a live destination), the
+        descriptors all refer to the surviving identity, so the open
+        counts are *summed* -- overwriting would lose open state and
+        make the file look closed while descriptors remain.
+        """
         if old == new:
             return
         if old in self._open_count:
-            self._open_count[new] = self._open_count.pop(old)
+            self._open_count[new] = (self._open_count.get(new, 0)
+                                     + self._open_count.pop(old))
         if old in self._last_open_index:
             index = self._last_open_index.pop(old)
             self._last_open_index[new] = max(
@@ -182,7 +244,9 @@ class LifetimeDistanceCalculator:
     def clone(self) -> "LifetimeDistanceCalculator":
         """Copy for a forked child, which inherits the parent's history
         (section 4.7)."""
-        copy = LifetimeDistanceCalculator(lookback_window=self._lookback)
+        copy = LifetimeDistanceCalculator(
+            lookback_window=self._lookback, prune=self._prune,
+            compensate=self._compensate, metrics=self._metrics)
         copy._open_counter = self._open_counter
         copy._open_count = dict(self._open_count)
         copy._last_open_index = dict(self._last_open_index)
@@ -241,6 +305,13 @@ class DistanceSummary:
     log_sum: float = 0.0
     linear_sum: float = 0.0
     last_update: int = 0   # correlator reference counter at last update
+    # Computed means are cached until the next add(): neighbor-table
+    # victim selection and nearest() queries read means far more often
+    # than observations arrive, and expm1/log1p dominate otherwise.
+    _geometric_cache: Optional[float] = field(
+        default=None, repr=False, compare=False)
+    _arithmetic_cache: Optional[float] = field(
+        default=None, repr=False, compare=False)
 
     def add(self, distance: float, now: int = 0) -> None:
         if distance < 0:
@@ -249,16 +320,28 @@ class DistanceSummary:
         self.log_sum += math.log1p(distance)
         self.linear_sum += distance
         self.last_update = now
+        self._geometric_cache = None
+        self._arithmetic_cache = None
 
     def geometric_mean(self) -> float:
-        if self.count == 0:
-            return math.inf
-        return math.expm1(self.log_sum / self.count)
+        cached = self._geometric_cache
+        if cached is None:
+            if self.count == 0:
+                cached = math.inf
+            else:
+                cached = math.expm1(self.log_sum / self.count)
+            self._geometric_cache = cached
+        return cached
 
     def arithmetic_mean(self) -> float:
-        if self.count == 0:
-            return math.inf
-        return self.linear_sum / self.count
+        cached = self._arithmetic_cache
+        if cached is None:
+            if self.count == 0:
+                cached = math.inf
+            else:
+                cached = self.linear_sum / self.count
+            self._arithmetic_cache = cached
+        return cached
 
     def mean(self, geometric: bool = True) -> float:
         return self.geometric_mean() if geometric else self.arithmetic_mean()

@@ -21,6 +21,15 @@ class SeerParameters:
     max_neighbors: int = 20          # n: distances kept per file
     lookback_window: int = 100       # M: references eligible for update
     compensation_distance: int = 100  # value inserted for distances > M
+    prune_lookback: bool = True      # drop per-stream entries once they
+                                     # age past M, bounding per-open cost
+                                     # by the window instead of by every
+                                     # file ever seen (False reproduces
+                                     # the historical unbounded scan)
+    emit_compensation: bool = True   # emit an over-window distance once
+                                     # at age-out so the neighbor store
+                                     # can record it as M (False silently
+                                     # drops the pair, the historical bug)
     aging_threshold: int = 5000      # references after which an entry may
                                      # be evicted regardless of distance
     stale_link_cutoff: int = 0       # if > 0, neighbor entries not

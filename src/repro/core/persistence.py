@@ -75,7 +75,9 @@ def load_correlator(data: Dict,
                 count=fields["count"], log_sum=fields["log_sum"],
                 linear_sum=fields["linear_sum"],
                 last_update=fields["last_update"])
-            table._entries[neighbor] = summary
+            # Goes through the loading API so the store's reverse index
+            # and the table's worst-entry bound stay consistent.
+            table._load_entry(neighbor, summary)
     return correlator
 
 

@@ -123,6 +123,20 @@ class Seer:
         self.miss_log.record_manual(path, time, severity)
 
     # ------------------------------------------------------------------
+    # observability
+    # ------------------------------------------------------------------
+    @property
+    def metrics(self):
+        """The shared :class:`repro.observability.Metrics` of the
+        ingestion pipeline (references/sec, prune and eviction counts,
+        cluster-build latency)."""
+        return self.correlator.metrics
+
+    def metrics_report(self) -> str:
+        """Render the pipeline counters for operators (CLI ``--metrics``)."""
+        return self.correlator.metrics.render()
+
+    # ------------------------------------------------------------------
     # clustering and hoarding
     # ------------------------------------------------------------------
     def investigate(self) -> List[Relation]:

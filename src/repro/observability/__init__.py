@@ -1,0 +1,14 @@
+"""Observability for the reference-ingestion hot path.
+
+The correlator digests reference streams continuously; this package
+provides the cheap instrumentation used to watch it do so at
+production rates: plain integer counters, wall-clock spans for
+throughput (references/sec), and timed blocks for coarse operations
+such as cluster builds.  Everything is designed so that the per-event
+cost is a dictionary increment or a single ``perf_counter`` read --
+never an allocation or a system call per observation.
+"""
+
+from repro.observability.metrics import Metrics, SpanStat, TimerStat
+
+__all__ = ["Metrics", "SpanStat", "TimerStat"]

@@ -1,0 +1,152 @@
+"""Cheap counters and timing hooks for the ingestion hot path.
+
+Three primitives cover everything the correlator pipeline needs:
+
+* **counters** -- monotonically increasing integers (``incr``);
+* **spans** -- first/last wall-clock marks around a repeated event,
+  giving an observed rate such as references/sec (``mark``);
+* **timers** -- accumulated duration of discrete operations such as a
+  cluster build (``timed``).
+
+A single :class:`Metrics` object is shared by a correlator, its
+per-process distance calculators and its neighbor store, so one
+``snapshot()`` describes the whole pipeline.  All state is plain
+dictionaries of numbers; recording is safe to leave enabled in
+production and in benchmarks.
+"""
+
+from __future__ import annotations
+
+import time
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, Optional
+
+
+@dataclass
+class SpanStat:
+    """Wall-clock span of a repeated event stream."""
+
+    count: int = 0
+    first: float = 0.0   # perf_counter at the first mark
+    last: float = 0.0    # perf_counter at the most recent mark
+
+    @property
+    def elapsed(self) -> float:
+        return self.last - self.first
+
+    @property
+    def rate(self) -> float:
+        """Observed events per second over the span (0 if degenerate)."""
+        if self.count < 2 or self.elapsed <= 0:
+            return 0.0
+        return self.count / self.elapsed
+
+
+@dataclass
+class TimerStat:
+    """Accumulated duration of a discrete, timed operation."""
+
+    calls: int = 0
+    total_seconds: float = 0.0
+    last_seconds: float = 0.0
+
+    @property
+    def mean_seconds(self) -> float:
+        return self.total_seconds / self.calls if self.calls else 0.0
+
+
+class Metrics:
+    """A small registry of counters, spans and timers."""
+
+    __slots__ = ("counters", "spans", "timers")
+
+    def __init__(self) -> None:
+        self.counters: Dict[str, int] = {}
+        self.spans: Dict[str, SpanStat] = {}
+        self.timers: Dict[str, TimerStat] = {}
+
+    # ------------------------------------------------------------------
+    # recording
+    # ------------------------------------------------------------------
+    def incr(self, name: str, amount: int = 1) -> None:
+        """Add *amount* to counter *name* (creating it at zero)."""
+        self.counters[name] = self.counters.get(name, 0) + amount
+
+    def mark(self, name: str, count: int = 1) -> None:
+        """Record *count* occurrences of span *name* at the current time."""
+        now = time.perf_counter()
+        span = self.spans.get(name)
+        if span is None:
+            span = SpanStat(first=now)
+            self.spans[name] = span
+        span.count += count
+        span.last = now
+
+    @contextmanager
+    def timed(self, name: str) -> Iterator[None]:
+        """Time a block, accumulating into timer *name*."""
+        start = time.perf_counter()
+        try:
+            yield
+        finally:
+            elapsed = time.perf_counter() - start
+            timer = self.timers.get(name)
+            if timer is None:
+                timer = TimerStat()
+                self.timers[name] = timer
+            timer.calls += 1
+            timer.total_seconds += elapsed
+            timer.last_seconds = elapsed
+
+    # ------------------------------------------------------------------
+    # reading
+    # ------------------------------------------------------------------
+    def counter(self, name: str) -> int:
+        return self.counters.get(name, 0)
+
+    def span(self, name: str) -> Optional[SpanStat]:
+        return self.spans.get(name)
+
+    def timer(self, name: str) -> Optional[TimerStat]:
+        return self.timers.get(name)
+
+    def rate(self, name: str) -> float:
+        """Observed rate of span *name* in events/second."""
+        span = self.spans.get(name)
+        return span.rate if span is not None else 0.0
+
+    def snapshot(self) -> Dict[str, float]:
+        """Flatten everything into one name -> number mapping."""
+        out: Dict[str, float] = dict(self.counters)
+        for name, span in self.spans.items():
+            out[f"{name}.count"] = span.count
+            out[f"{name}.seconds"] = span.elapsed
+            out[f"{name}.per_second"] = span.rate
+        for name, timer in self.timers.items():
+            out[f"{name}.calls"] = timer.calls
+            out[f"{name}.total_seconds"] = timer.total_seconds
+            out[f"{name}.mean_seconds"] = timer.mean_seconds
+        return out
+
+    def render(self) -> str:
+        """Human-readable report, one metric per line, sorted by name."""
+        lines = ["metrics:"]
+        for name in sorted(self.counters):
+            lines.append(f"  {name:<40s} {self.counters[name]:>14,d}")
+        for name in sorted(self.spans):
+            span = self.spans[name]
+            lines.append(f"  {name + '.per_second':<40s} {span.rate:>14,.0f}"
+                         f"  ({span.count:,d} in {span.elapsed:.3f}s)")
+        for name in sorted(self.timers):
+            timer = self.timers[name]
+            lines.append(f"  {name + '.mean_seconds':<40s} "
+                         f"{timer.mean_seconds:>14.6f}"
+                         f"  ({timer.calls} calls, "
+                         f"{timer.total_seconds:.3f}s total)")
+        return "\n".join(lines)
+
+    def reset(self) -> None:
+        self.counters.clear()
+        self.spans.clear()
+        self.timers.clear()

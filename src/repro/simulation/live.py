@@ -107,6 +107,9 @@ class LiveResult:
     machine: str
     hoard_budget: int
     outcomes: List[DisconnectionOutcome] = field(default_factory=list)
+    # Ingestion-pipeline counters captured at the end of the run
+    # (see repro.observability); surfaced by the CLI's --metrics flag.
+    metrics: Optional[Dict[str, float]] = None
 
     # -- Table 3 -------------------------------------------------------
     def disconnection_durations_hours(self) -> List[float]:
@@ -240,4 +243,5 @@ def simulate_live_usage(trace: GeneratedTrace,
                 seer.miss_log.record_manual(path, record.time, severity)
         seer.reconnect()
         result.outcomes.append(outcome)
+    result.metrics = seer.metrics.snapshot()
     return result

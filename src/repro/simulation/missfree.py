@@ -87,6 +87,9 @@ class MissFreeResult:
     use_investigators: bool
     seed: int
     windows: List[WindowResult] = field(default_factory=list)
+    # Ingestion-pipeline counters captured at the end of the run
+    # (see repro.observability); surfaced by the CLI's --metrics flag.
+    metrics: Optional[Dict[str, float]] = None
 
     def _mean(self, values: Sequence[float]) -> float:
         return sum(values) / len(values) if values else 0.0
@@ -252,6 +255,7 @@ def simulate_miss_free(trace: GeneratedTrace, window_seconds: float,
             lru_bytes=lru_bytes,
             uncoverable_files=len(uncoverable),
             spy_bytes=spy_bytes))
+    result.metrics = seer.metrics.snapshot()
     return result
 
 

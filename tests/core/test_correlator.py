@@ -212,3 +212,78 @@ class TestClusterIntegration:
         driver.send(1, Action.POINT, "/a")
         driver.send(1, Action.POINT, "/b")
         assert correlator.references_processed == 2
+
+
+class TestStatTimeRegression:
+    def test_flushed_stat_keeps_observed_time(self, correlator, driver):
+        # Regression: flushing a pending stat as a point reference used
+        # to record time=0.0, clobbering the file's recency timestamp.
+        driver.send(1, Action.STAT, "/checked", time=5.0)
+        driver.send(1, Action.POINT, "/other", time=6.0)
+        assert correlator.recency_times()["/checked"] == pytest.approx(5.0)
+
+    def test_flush_on_unrelated_open_keeps_time(self, correlator, driver):
+        driver.send(1, Action.STAT, "/checked", time=11.0)
+        driver.send(1, Action.OPEN, "/different", time=12.0)
+        assert correlator.recency_times()["/checked"] == pytest.approx(11.0)
+
+
+class TestExitMergeRegression:
+    def test_exit_of_non_forked_stream_does_not_merge_into_pid0(
+            self, correlator, driver):
+        # Regression: any stream with ppid 0 used to merge into a pid-0
+        # stream on exit, relating files of unrelated processes whenever
+        # some reference had arrived tagged pid 0.
+        driver.send(0, Action.POINT, "/pid0-before")
+        driver.send(7, Action.POINT, "/made-by-7")
+        driver.send(7, Action.EXIT)
+        driver.send(0, Action.POINT, "/pid0-later")
+        assert distance(correlator, "/made-by-7", "/pid0-later") == float("inf")
+
+    def test_forked_child_still_merges_on_exit(self, correlator, driver):
+        driver.send(10, Action.FORK, ppid=1)
+        driver.send(10, Action.POINT, "/child-file")
+        driver.send(10, Action.EXIT)
+        driver.send(1, Action.POINT, "/parent-later")
+        assert distance(correlator, "/child-file", "/parent-later") < float("inf")
+
+
+class TestCompensation:
+    def test_over_window_distance_recorded_as_compensation(self):
+        # Section 3.1.3 end to end: a pair separated by more than the
+        # lookback window reaches the neighbor table as the (smaller)
+        # compensation distance instead of being dropped.
+        correlator = make_correlator(lookback_window=3,
+                                     compensation_distance=7)
+        driver = Driver(correlator)
+        driver.send(1, Action.POINT, "/a")
+        for index in range(4):
+            driver.send(1, Action.POINT, f"/x{index}")
+        assert distance(correlator, "/a", "/x3") == pytest.approx(7.0)
+        assert correlator.metrics.counter("neighbor.compensations") > 0
+        assert correlator.metrics.counter("distance.pruned_entries") > 0
+
+    def test_seed_mode_drops_over_window_pairs(self):
+        correlator = make_correlator(lookback_window=3,
+                                     compensation_distance=7,
+                                     prune_lookback=False,
+                                     emit_compensation=False)
+        driver = Driver(correlator)
+        driver.send(1, Action.POINT, "/a")
+        for index in range(4):
+            driver.send(1, Action.POINT, f"/x{index}")
+        assert distance(correlator, "/a", "/x3") == float("inf")
+
+
+class TestIngestMetrics:
+    def test_ingest_counters_advance(self, correlator, driver):
+        driver.send(1, Action.POINT, "/a")
+        driver.send(1, Action.POINT, "/b")
+        snapshot = correlator.metrics.snapshot()
+        assert snapshot["correlator.ingest.count"] == 2
+        assert snapshot["correlator.distances_ingested"] >= 1
+
+    def test_cluster_build_timed(self, correlator, driver):
+        driver.send(1, Action.POINT, "/a")
+        correlator.build_clusters()
+        assert correlator.metrics.timer("correlator.cluster_build").calls == 1

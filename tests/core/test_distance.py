@@ -152,6 +152,73 @@ class TestLifetimeSemantics:
         distances = as_dict(calc.open("B"))
         assert distances[("S", "B")] == 0
 
+    def test_compensation_emitted_once_at_age_out(self):
+        # Regression (section 3.1.3): the over-window distance used to
+        # be dropped entirely, leaving the neighbor store's compensation
+        # rule dead.  It is now emitted exactly once, at the open that
+        # finds the entry aged out, and the entry is pruned afterwards.
+        calc = LifetimeDistanceCalculator(lookback_window=3)
+        calc.point_reference("A")                   # index 1
+        calc.point_reference("X0")                  # index 2, d(A)=1
+        calc.point_reference("X1")                  # index 3, d(A)=2
+        calc.point_reference("X2")                  # index 4, d(A)=3
+        distances = as_dict(calc.open("X3"))        # index 5, d(A)=4 > M
+        assert distances[("A", "X3")] == 4          # emitted, over-window
+        calc.close("X3")
+        # A is pruned: no further emissions for it, ever.
+        assert ("A", "X4") not in as_dict(calc.open("X4"))
+        assert calc.tracked_files <= 5
+
+    def test_seed_mode_skips_over_window_pairs(self):
+        # prune=False, compensate=False reproduces the historical
+        # behaviour: over-window pairs silently dropped, nothing pruned.
+        calc = LifetimeDistanceCalculator(lookback_window=3, prune=False,
+                                          compensate=False)
+        calc.point_reference("A")
+        for index in range(5):
+            calc.point_reference(f"X{index}")
+        distances = as_dict(calc.open("B"))
+        assert ("A", "B") not in distances
+        assert calc.tracked_files == 7              # nothing forgotten
+
+    def test_pruning_bounds_tracked_state(self):
+        calc = LifetimeDistanceCalculator(lookback_window=10)
+        for index in range(500):
+            calc.point_reference(f"F{index}")
+        # Only the window (plus the newest open) can remain tracked.
+        assert calc.tracked_files <= 11
+
+    def test_reopened_file_re_enters_window(self):
+        calc = LifetimeDistanceCalculator(lookback_window=3)
+        calc.point_reference("A")
+        for index in range(5):
+            calc.point_reference(f"X{index}")       # A aged out and pruned
+        calc.point_reference("A")                   # fresh open re-keys A
+        distances = as_dict(calc.open("B"))
+        assert distances[("A", "B")] == 1
+
+    def test_rename_sums_open_counts(self):
+        # Regression: renaming over an open file used to overwrite the
+        # destination's open count with the source's, losing open state.
+        calc = LifetimeDistanceCalculator()
+        calc.open("old")
+        calc.open("old")
+        calc.open("new")
+        calc.rename("old", "new")
+        assert calc.is_open("new")
+        calc.close("new")
+        calc.close("new")
+        assert calc.is_open("new")                  # 3 opens carried over
+        calc.close("new")
+        assert not calc.is_open("new")
+
+    def test_rename_of_closed_file_keeps_destination_open(self):
+        calc = LifetimeDistanceCalculator()
+        calc.open("new")
+        calc.point_reference("old")                 # old is closed
+        calc.rename("old", "new")
+        assert calc.is_open("new")
+
     def test_unbalanced_close_tolerated(self):
         calc = LifetimeDistanceCalculator()
         calc.close("never-opened")                  # no exception

@@ -163,6 +163,106 @@ class TestNeighborStore:
         store.rename_file("A", "A")
         assert store.table("A").distance_to("B") == pytest.approx(1.0)
 
+    def test_rename_cannot_create_self_entry(self):
+        # Regression: renaming A over B while B appeared in A's table
+        # used to leave B's (moved) table listing B itself.
+        store = NeighborStore(params())
+        store.observe("A", "B", 1.0, now=1)
+        store.rename_file("A", "B")
+        assert "B" not in store.table("B")
+
+    def test_rekey_cannot_create_self_entry(self):
+        # The mirror case: the destination's own table listed the old
+        # name; re-keying it to the new name would be a self-loop.
+        store = NeighborStore(params())
+        store.observe("B", "A", 1.0, now=1)
+        store.observe("A", "C", 1.0, now=2)
+        store.rename_file("A", "B")
+        assert "B" not in store.table("B")
+        assert store.table("B").distance_to("C") == pytest.approx(1.0)
+
+
+class TestReverseIndex:
+    def test_containing_tracks_inserts(self):
+        store = NeighborStore(params())
+        store.observe("A", "X", 1.0, now=1)
+        store.observe("B", "X", 2.0, now=2)
+        assert store.containing("X") == {"A", "B"}
+
+    def test_containing_tracks_evictions(self):
+        store = NeighborStore(params(max_neighbors=1))
+        store.observe("A", "far", 90.0, now=1)
+        store.observe("A", "near", 1.0, now=2)   # evicts far
+        assert store.containing("far") == set()
+        assert store.containing("near") == {"A"}
+
+    def test_containing_tracks_remove_file(self):
+        store = NeighborStore(params())
+        store.observe("A", "X", 1.0, now=1)
+        store.remove_file("A")
+        assert store.containing("X") == set()
+
+    def test_containing_tracks_rename(self):
+        store = NeighborStore(params())
+        store.observe("A", "old", 1.0, now=1)
+        store.observe("old", "B", 1.0, now=2)
+        store.rename_file("old", "new")
+        assert store.containing("old") == set()
+        assert store.containing("new") == {"A"}
+        assert store.containing("B") == {"new"}
+
+    def test_index_consistent_with_tables(self):
+        store = NeighborStore(params(max_neighbors=2))
+        rng = random.Random(3)
+        names = [f"F{i}" for i in range(6)]
+        for now in range(300):
+            a, b = rng.sample(names, 2)
+            roll = rng.random()
+            if roll < 0.7:
+                store.observe(a, b, rng.uniform(0, 100), now=now)
+            elif roll < 0.85:
+                store.rename_file(a, b)
+            else:
+                store.remove_file(a)
+        rebuilt = {}
+        for file in store.files():
+            for neighbor in store.get(file).neighbors():
+                rebuilt.setdefault(neighbor, set()).add(file)
+        observed = {name: store.containing(name) for name in names
+                    if store.containing(name)}
+        assert rebuilt == observed
+
+
+class TestWorstBound:
+    def test_bound_skip_avoids_scan(self):
+        from repro.observability import Metrics
+        metrics = Metrics()
+        table = NeighborTable(params(max_neighbors=2), metrics=metrics)
+        table.observe("A", 1.0, now=1)
+        table.observe("B", 2.0, now=2)
+        # Candidate farther than the bound: replacement ruled out
+        # without computing a single mean.
+        assert not table.observe("C", 50.0, now=3)
+        assert metrics.counter("neighbor.bound_skips") == 1
+
+    def test_stale_bound_recomputed_not_trusted(self):
+        # The bound can be stale-high after updates shrink a mean; the
+        # exact scan inside the victim choice must correct it rather
+        # than evict based on the bound alone.
+        table = NeighborTable(params(max_neighbors=2))
+        table.observe("A", 90.0, now=1)
+        table.observe("A", 1.0, now=2)    # mean drops well below 90
+        table.observe("B", 2.0, now=3)
+        assert not table.observe("C", 60.0, now=4)   # no mean exceeds 60
+        assert "A" in table and "B" in table
+
+    def test_replacement_matches_unbounded_semantics(self):
+        table = NeighborTable(params(max_neighbors=2))
+        table.observe("far", 90.0, now=1)
+        table.observe("near", 1.0, now=2)
+        assert table.observe("new", 5.0, now=3)
+        assert table.neighbors() == {"near", "new"}
+
 
 @settings(max_examples=50)
 @given(st.lists(

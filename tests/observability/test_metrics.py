@@ -1,0 +1,102 @@
+"""Tests for the ingestion-pipeline metrics primitives."""
+
+import pytest
+
+from repro.observability import Metrics, SpanStat, TimerStat
+
+
+class TestCounters:
+    def test_incr_creates_and_adds(self):
+        metrics = Metrics()
+        metrics.incr("x")
+        metrics.incr("x", 4)
+        assert metrics.counter("x") == 5
+
+    def test_missing_counter_is_zero(self):
+        assert Metrics().counter("never") == 0
+
+    def test_counters_in_snapshot(self):
+        metrics = Metrics()
+        metrics.incr("a", 3)
+        assert metrics.snapshot()["a"] == 3
+
+
+class TestSpans:
+    def test_mark_counts_events(self):
+        metrics = Metrics()
+        metrics.mark("refs")
+        metrics.mark("refs", 9)
+        span = metrics.span("refs")
+        assert span.count == 10
+        assert span.last >= span.first
+
+    def test_rate_degenerate_cases(self):
+        assert Metrics().rate("never") == 0.0
+        assert SpanStat(count=1, first=5.0, last=5.0).rate == 0.0
+
+    def test_rate_positive_over_real_span(self):
+        span = SpanStat(count=100, first=0.0, last=2.0)
+        assert span.rate == pytest.approx(50.0)
+
+    def test_span_snapshot_keys(self):
+        metrics = Metrics()
+        metrics.mark("refs", 2)
+        snapshot = metrics.snapshot()
+        assert snapshot["refs.count"] == 2
+        assert "refs.seconds" in snapshot
+        assert "refs.per_second" in snapshot
+
+
+class TestTimers:
+    def test_timed_accumulates(self):
+        metrics = Metrics()
+        with metrics.timed("build"):
+            pass
+        with metrics.timed("build"):
+            pass
+        timer = metrics.timer("build")
+        assert timer.calls == 2
+        assert timer.total_seconds >= timer.last_seconds >= 0.0
+
+    def test_timed_records_on_exception(self):
+        metrics = Metrics()
+        with pytest.raises(RuntimeError):
+            with metrics.timed("build"):
+                raise RuntimeError("boom")
+        assert metrics.timer("build").calls == 1
+
+    def test_mean_seconds(self):
+        timer = TimerStat(calls=4, total_seconds=2.0)
+        assert timer.mean_seconds == pytest.approx(0.5)
+        assert TimerStat().mean_seconds == 0.0
+
+    def test_timer_snapshot_keys(self):
+        metrics = Metrics()
+        with metrics.timed("build"):
+            pass
+        snapshot = metrics.snapshot()
+        assert snapshot["build.calls"] == 1
+        assert "build.total_seconds" in snapshot
+        assert "build.mean_seconds" in snapshot
+
+
+class TestRenderReset:
+    def test_render_mentions_every_metric(self):
+        metrics = Metrics()
+        metrics.incr("evictions", 7)
+        metrics.mark("refs", 3)
+        with metrics.timed("build"):
+            pass
+        text = metrics.render()
+        assert "evictions" in text
+        assert "refs.per_second" in text
+        assert "build.mean_seconds" in text
+
+    def test_reset_clears_all(self):
+        metrics = Metrics()
+        metrics.incr("a")
+        metrics.mark("b")
+        with metrics.timed("c"):
+            pass
+        metrics.reset()
+        assert metrics.snapshot() == {}
