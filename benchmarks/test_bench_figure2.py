@@ -9,14 +9,17 @@ significant difference.
 """
 
 import os
+import time
 
 import pytest
 
-from benchmarks.conftest import DAY, WEEK, get_missfree
+from benchmarks.conftest import BENCH_DAYS, BENCH_SEED, DAY, WEEK, get_missfree
 from repro.analysis import render_figure2
 
 MACHINES = list("ABCDEFGHI")
 INVESTIGATED = ["B", "F", "G"]
+
+SMOKE = os.environ.get("REPRO_BENCH_SMOKE") == "1"
 
 
 @pytest.mark.parametrize("machine", MACHINES)
@@ -66,3 +69,49 @@ def test_figure2_render(benchmark, output_dir):
     ratios = [r.lru_to_seer_ratio for r in results if r.windows]
     assert min(ratios) >= 1.0
     assert max(ratios) > 5.0
+
+
+def test_figure2_parallel_mode(benchmark, output_dir):
+    """The multi-machine study through the parallel experiment runner.
+
+    Runs the full (machine x period) grid serially and at --jobs 4,
+    checks the rendered figure is byte-identical, and records the
+    speedup.  The >= 2x speedup assertion engages when the host
+    actually has >= 4 cores; on smaller machines the equivalence is
+    still verified and the measured ratio reported.
+    """
+    from repro.simulation.runner import figure2_grid, run_shards
+
+    machines = ["C", "E"] if SMOKE else MACHINES
+    shards = figure2_grid(machines, BENCH_DAYS, BENCH_SEED,
+                          investigators=not SMOKE)
+
+    start = time.perf_counter()
+    serial = run_shards(shards, jobs=1)
+    serial_seconds = time.perf_counter() - start
+
+    start = time.perf_counter()
+    parallel = benchmark.pedantic(
+        lambda: run_shards(shards, jobs=4), rounds=1, iterations=1)
+    parallel_seconds = time.perf_counter() - start
+
+    serial_text = render_figure2([o.result for o in serial], show_ci=False)
+    parallel_text = render_figure2([o.result for o in parallel],
+                                   show_ci=False)
+    assert parallel_text == serial_text
+
+    speedup = serial_seconds / parallel_seconds if parallel_seconds else 0.0
+    cores = os.cpu_count() or 1
+    with open(os.path.join(output_dir, "figure2_parallel.txt"),
+              "w") as stream:
+        stream.write(
+            f"figure2 grid: {len(shards)} cells, machines "
+            f"{''.join(machines)}\n"
+            f"serial:   {serial_seconds:8.2f} s\n"
+            f"jobs=4:   {parallel_seconds:8.2f} s\n"
+            f"speedup:  {speedup:8.2f}x on {cores} cores\n"
+            f"output byte-identical: True\n")
+    if cores >= 4 and not SMOKE:
+        assert speedup >= 2.0, (
+            f"expected >= 2x speedup at jobs=4 on {cores} cores, "
+            f"got {speedup:.2f}x")

@@ -21,9 +21,8 @@ from repro.analysis.tables import (
     render_table4,
     render_table5,
 )
-from repro.simulation.live import LiveResult, simulate_live_usage
-from repro.simulation.missfree import MissFreeResult, simulate_miss_free
-from repro.workload import generate_machine_trace, machine_profile
+from repro.simulation.live import LiveResult
+from repro.simulation.missfree import MissFreeResult
 
 DAY = 86400.0
 WEEK = 7 * DAY
@@ -104,22 +103,30 @@ def run_reproduction(machines: Sequence[str] = ("C", "D", "F"),
                      days: float = 28.0, seed: int = 1,
                      include_live: bool = True,
                      include_investigators: bool = True,
-                     progress=None) -> ReproductionReport:
-    """Run the evaluation for *machines* and return the report."""
+                     progress=None, jobs: int = 1,
+                     checkpoint_dir: Optional[str] = None,
+                     resume: bool = False,
+                     metrics=None) -> ReproductionReport:
+    """Run the evaluation for *machines* and return the report.
+
+    The (machine x period x simulator) grid runs on the parallel
+    experiment runner: *jobs* worker processes, per-cell JSON
+    checkpoints under *checkpoint_dir*, and *resume* to restart an
+    interrupted study recomputing only the missing cells.  Results are
+    identical for every *jobs* value (see docs/parallel-runner.md).
+    """
+    from repro.simulation.runner import reproduction_grid, run_shards
     report = ReproductionReport(machines=list(machines), days=days, seed=seed)
     start = time.time()
-    for name in machines:
-        profile = machine_profile(name)
-        if progress is not None:
-            progress(f"machine {name}: generating {days:g} days...")
-        trace = generate_machine_trace(profile, seed=seed, days=days)
-        for window in (DAY, WEEK):
-            report.missfree.append(simulate_miss_free(trace, window))
-        if include_investigators and profile.uses_investigators:
-            for window in (DAY, WEEK):
-                report.missfree.append(simulate_miss_free(
-                    trace, window, use_investigators=True))
-        if include_live:
-            report.live.append(simulate_live_usage(trace))
+    shards = reproduction_grid(machines, days, seed,
+                               include_live=include_live,
+                               include_investigators=include_investigators)
+    outcomes = run_shards(shards, jobs=jobs, checkpoint_dir=checkpoint_dir,
+                          resume=resume, metrics=metrics, progress=progress)
+    for outcome in outcomes:
+        if outcome.spec.kind == "missfree":
+            report.missfree.append(outcome.result)
+        elif outcome.spec.kind == "live":
+            report.live.append(outcome.result)
     report.elapsed_seconds = time.time() - start
     return report

@@ -7,10 +7,18 @@ Subcommands:
 ``missfree``   run the Figure 2/3 miss-free hoard-size simulation
 ``live``       run the Tables 3-5 live-usage simulation
 ``figure2``    run the multi-machine study and render Figure 2
+``report``     run the full reproduction and render everything
 ``sweep``      sweep one SEER parameter and report the objective
 
 All simulation commands accept a machine name (A-I); ``generate`` can
 persist the trace for later ``stats`` inspection.
+
+``figure2``, ``report`` and ``sweep`` run their experiment grids on
+the parallel runner (docs/parallel-runner.md): ``--jobs N`` shards the
+grid across N worker processes, ``--checkpoint-dir DIR`` persists one
+JSON file per completed cell, and ``--resume`` restarts an interrupted
+study recomputing only the missing cells.  Output is identical for
+every ``--jobs`` value.
 """
 
 from __future__ import annotations
@@ -47,13 +55,30 @@ def _add_machine_arguments(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--seed", type=int, default=1)
 
 
+def _add_runner_arguments(parser: argparse.ArgumentParser) -> None:
+    """Flags of the parallel experiment runner (docs/parallel-runner.md)."""
+    parser.add_argument("--jobs", type=int, default=1, metavar="N",
+                        help="worker processes for the experiment grid "
+                             "(default 1; results are identical for any "
+                             "value)")
+    parser.add_argument("--checkpoint-dir", metavar="DIR",
+                        help="write one JSON checkpoint per completed "
+                             "grid cell into DIR")
+    parser.add_argument("--resume", action="store_true",
+                        help="reload completed cells from "
+                             "--checkpoint-dir and run only the missing "
+                             "ones")
+
+
 def _trace_for(args):
     return generate_machine_trace(machine_profile(args.machine),
                                   seed=args.seed, days=args.days)
 
 
-def _print_metrics(metrics, stream=sys.stderr) -> None:
+def _print_metrics(metrics, stream=None) -> None:
     """Render an ingestion-pipeline metrics snapshot (``--metrics``)."""
+    if stream is None:
+        stream = sys.stderr
     if not metrics:
         print("(no ingestion metrics collected)", file=stream)
         return
@@ -118,27 +143,32 @@ def cmd_live(args) -> int:
 
 
 def cmd_figure2(args) -> int:
-    results = []
-    for name in args.machines:
-        profile = machine_profile(name)
-        print(f"simulating machine {name}...", file=sys.stderr)
-        trace = generate_machine_trace(profile, seed=args.seed,
-                                       days=args.days)
-        for window in (DAY, WEEK):
-            results.append(simulate_miss_free(trace, window))
-        if profile.uses_investigators and args.investigators:
-            for window in (DAY, WEEK):
-                results.append(simulate_miss_free(trace, window,
-                                                  use_investigators=True))
-    print(render_figure2(results, show_ci=False))
+    from repro.observability import Metrics
+    from repro.simulation.runner import figure2_grid, run_shards
+    shards = figure2_grid(args.machines, days=args.days, seed=args.seed,
+                          investigators=args.investigators)
+    metrics = Metrics()
+    outcomes = run_shards(shards, jobs=args.jobs,
+                          checkpoint_dir=args.checkpoint_dir,
+                          resume=args.resume, metrics=metrics,
+                          progress=lambda msg: print(msg, file=sys.stderr))
+    print(render_figure2([o.result for o in outcomes], show_ci=False))
+    if args.metrics:
+        _print_metrics(metrics.snapshot())
     return 0
 
 
 def cmd_report(args) -> int:
+    from repro.observability import Metrics
+    metrics = Metrics()
     report = run_reproduction(machines=args.machines, days=args.days,
-                              seed=args.seed,
+                              seed=args.seed, jobs=args.jobs,
+                              checkpoint_dir=args.checkpoint_dir,
+                              resume=args.resume, metrics=metrics,
                               progress=lambda msg: print(msg, file=sys.stderr))
     print(report.render())
+    if args.metrics:
+        _print_metrics(metrics.snapshot())
     if args.json:
         from repro.analysis.export import live_rows, missfree_summary, write_json
         write_json(missfree_summary(report.missfree) + live_rows(report.live),
@@ -154,7 +184,10 @@ def cmd_report(args) -> int:
 def cmd_sweep(args) -> int:
     trace = _trace_for(args)
     values = [_coerce(v) for v in args.values]
-    points = sweep_parameter(SIM_PARAMETERS, args.parameter, values, [trace])
+    points = sweep_parameter(SIM_PARAMETERS, args.parameter, values, [trace],
+                             jobs=args.jobs,
+                             checkpoint_dir=args.checkpoint_dir,
+                             resume=args.resume)
     print(f"sweep of {args.parameter} on machine {args.machine} "
           f"(objective: mean hoard overhead, lower is better)")
     for point in points:
@@ -218,6 +251,11 @@ def build_parser() -> argparse.ArgumentParser:
     figure2.add_argument("--days", type=float, default=28.0)
     figure2.add_argument("--seed", type=int, default=1)
     figure2.add_argument("--investigators", action="store_true")
+    _add_runner_arguments(figure2)
+    figure2.add_argument("--metrics", action="store_true",
+                         help="print runner and ingestion counters "
+                              "(pool utilization, per-machine cost) "
+                              "to stderr")
     figure2.set_defaults(handler=cmd_figure2)
 
     report = commands.add_parser("report",
@@ -228,12 +266,16 @@ def build_parser() -> argparse.ArgumentParser:
     report.add_argument("--seed", type=int, default=1)
     report.add_argument("--json", help="also export summary rows as JSON")
     report.add_argument("--csv", help="also export per-window rows as CSV")
+    _add_runner_arguments(report)
+    report.add_argument("--metrics", action="store_true",
+                        help="print runner and ingestion counters to stderr")
     report.set_defaults(handler=cmd_report)
 
     sweep = commands.add_parser("sweep", help="sweep one SEER parameter")
     _add_machine_arguments(sweep)
     sweep.add_argument("--parameter", required=True)
     sweep.add_argument("--values", nargs="+", required=True)
+    _add_runner_arguments(sweep)
     sweep.set_defaults(handler=cmd_sweep)
 
     return parser

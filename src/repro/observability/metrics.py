@@ -99,6 +99,37 @@ class Metrics:
             timer.total_seconds += elapsed
             timer.last_seconds = elapsed
 
+    def observe(self, name: str, seconds: float) -> None:
+        """Record an externally-timed duration into timer *name*.
+
+        The parallel runner times shards inside worker processes and
+        folds the measurements into the parent's registry at join;
+        this is the entry point for such pre-measured durations.
+        """
+        timer = self.timers.get(name)
+        if timer is None:
+            timer = TimerStat()
+            self.timers[name] = timer
+        timer.calls += 1
+        timer.total_seconds += seconds
+        timer.last_seconds = seconds
+
+    def absorb_counters(self, snapshot: Dict[str, float],
+                        skip_suffixes: tuple = ()) -> None:
+        """Sum another registry's counters into this one.
+
+        *snapshot* is a :meth:`snapshot` mapping, possibly produced in
+        a different process.  Span and timer derivatives (rates, means)
+        are not meaningful to add, so callers pass their suffixes via
+        *skip_suffixes* and only the plain counters are merged.
+        """
+        for name, value in snapshot.items():
+            if any(name.endswith(suffix) for suffix in skip_suffixes):
+                continue
+            if isinstance(value, bool) or not isinstance(value, (int, float)):
+                continue
+            self.counters[name] = self.counters.get(name, 0) + value
+
     # ------------------------------------------------------------------
     # reading
     # ------------------------------------------------------------------

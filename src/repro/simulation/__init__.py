@@ -32,6 +32,15 @@ from repro.simulation.missfree import (
     simulate_miss_free,
 )
 from repro.simulation.stats import SummaryStatistics, ci99_halfwidth, summarize
+from repro.simulation.runner import (
+    RunStats,
+    ShardOutcome,
+    ShardSpec,
+    execute_shard,
+    figure2_grid,
+    reproduction_grid,
+    run_shards,
+)
 
 SIM_PARAMETERS = SeerParameters(
     frequent_file_fraction=0.05,
@@ -58,10 +67,17 @@ __all__ = [
     "DisconnectionOutcome",
     "LiveResult",
     "MissFreeResult",
+    "RunStats",
     "SIM_PARAMETERS",
+    "ShardOutcome",
+    "ShardSpec",
     "SummaryStatistics",
     "WindowResult",
     "ci99_halfwidth",
+    "execute_shard",
+    "figure2_grid",
+    "reproduction_grid",
+    "run_shards",
     "simulate_live_usage",
     "simulate_miss_free",
     "summarize",

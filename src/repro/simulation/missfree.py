@@ -14,6 +14,7 @@ from __future__ import annotations
 
 import math
 import random
+import zlib
 from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional, Sequence, Set
 
@@ -116,8 +117,14 @@ class MissFreeResult:
 
 
 def _geometric_size(path: str, seed: int) -> int:
-    """Deterministic per-path draw from the paper's distribution."""
-    rng = random.Random(hash((path, seed)) & 0xFFFFFFFF)
+    """Deterministic per-path draw from the paper's distribution.
+
+    Seeded by crc32, not the built-in ``hash``: string hashing is
+    salted per process, and these draws must agree across the parallel
+    runner's workers and across checkpoint/resume process boundaries.
+    """
+    rng = random.Random(zlib.crc32(f"{seed}:{path}".encode("utf-8"))
+                        & 0xFFFFFFFF)
     u = rng.random()
     return max(1, int(math.log1p(-u) / math.log1p(-GEOMETRIC_P)) + 1)
 

@@ -1,0 +1,403 @@
+"""Parallel experiment runner with checkpoint/resume.
+
+The paper's evaluation replays nine machine traces across seeds and two
+disconnection periods -- an embarrassingly parallel grid that this
+module shards across a :mod:`multiprocessing` worker pool.  Three ideas
+organize everything:
+
+* **Deterministic shard identity.**  Each grid cell is a frozen
+  :class:`ShardSpec` -- (simulator, machine, trace seed, days,
+  disconnection period, investigators, parameters) -- whose
+  :attr:`~ShardSpec.shard_id` is a pure function of those values.
+  Workers regenerate the trace from the spec, so a cell's result is
+  reproducible regardless of scheduling, pool size or which process
+  ran it.
+
+* **Per-shard checkpointing.**  With a ``checkpoint_dir``, every
+  completed cell is written atomically (temp file + ``os.replace``) as
+  ``<shard_id>.json`` holding the spec and the losslessly-serialized
+  result (:mod:`repro.simulation.serde`).  A crash can lose at most
+  cells that had not finished.
+
+* **Resume.**  With ``resume=True`` the runner reloads every valid
+  checkpoint and runs only the missing cells.  Corrupt or truncated
+  files, stale formats, and files whose recorded spec does not match
+  the requested cell are all discarded and recomputed.
+
+Results always travel through the JSON serde -- even with ``jobs=1``
+and no checkpoint directory -- so serial, parallel and resumed sweeps
+are cell-for-cell identical.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+import multiprocessing
+import os
+import tempfile
+import time
+import zlib
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+from repro.observability import Metrics
+from repro.simulation.serde import ShardResult, result_from_data, result_to_data
+
+DAY = 86400.0
+WEEK = 7 * DAY
+
+CHECKPOINT_FORMAT = 1
+
+#: Snapshot keys with these suffixes come from spans/timers; everything
+#: else in a ``Metrics.snapshot()`` is a plain counter and can be summed
+#: across shards meaningfully.
+_NON_COUNTER_SUFFIXES = (".count", ".seconds", ".per_second", ".calls",
+                         ".total_seconds", ".mean_seconds")
+
+
+@dataclass(frozen=True)
+class ShardSpec:
+    """One cell of the experiment grid.
+
+    ``parameter_overrides`` is either empty (the harness defaults,
+    ``SIM_PARAMETERS``) or the *complete* field set of a
+    :class:`~repro.core.parameters.SeerParameters`, as sorted
+    (name, value) pairs -- complete so a worker process can rebuild the
+    exact parameters without access to the caller's objects.
+    """
+
+    kind: str                     # "missfree" | "live" | "objective"
+    machine: str
+    trace_seed: int
+    days: float
+    window_seconds: Optional[float] = None    # missfree/objective only
+    use_investigators: bool = False
+    size_seed: int = 0
+    parameter_overrides: Tuple[Tuple[str, object], ...] = ()
+
+    def __post_init__(self) -> None:
+        if self.kind not in ("missfree", "live", "objective"):
+            raise ValueError(f"unknown shard kind: {self.kind!r}")
+
+    @property
+    def shard_id(self) -> str:
+        """Deterministic, filesystem-safe cell identity."""
+        parts = [self.kind, self.machine,
+                 f"seed{self.trace_seed}", f"d{self.days:g}"]
+        if self.window_seconds is not None:
+            parts.append(f"w{self.window_seconds:g}")
+        if self.use_investigators:
+            parts.append("inv")
+        if self.size_seed:
+            parts.append(f"z{self.size_seed}")
+        if self.parameter_overrides:
+            blob = json.dumps([[n, v] for n, v in self.parameter_overrides],
+                              sort_keys=True).encode("utf-8")
+            parts.append(f"p{zlib.crc32(blob) & 0xFFFFFFFF:08x}")
+        return "-".join(parts)
+
+    def parameters(self):
+        """Rebuild the SeerParameters for this cell (None = defaults)."""
+        if not self.parameter_overrides:
+            return None
+        from repro.core.parameters import SeerParameters
+        return SeerParameters(**dict(self.parameter_overrides))
+
+
+def spec_for_parameters(spec: ShardSpec, parameters) -> ShardSpec:
+    """Copy *spec* carrying the complete field set of *parameters*."""
+    overrides = tuple(sorted(dataclasses.asdict(parameters).items()))
+    return dataclasses.replace(spec, parameter_overrides=overrides)
+
+
+def _spec_to_data(spec: ShardSpec) -> Dict:
+    data = dataclasses.asdict(spec)
+    data["parameter_overrides"] = [
+        [name, value] for name, value in spec.parameter_overrides]
+    return data
+
+
+# ----------------------------------------------------------------------
+# grid builders
+# ----------------------------------------------------------------------
+def figure2_grid(machines: Sequence[str], days: float, seed: int,
+                 investigators: bool = False) -> List[ShardSpec]:
+    """The miss-free cells behind Figure 2: daily and weekly windows
+    per machine, plus investigator runs for the machines the paper
+    marks with an asterisk when requested."""
+    from repro.workload import machine_profile
+    shards: List[ShardSpec] = []
+    for machine in machines:
+        for window in (DAY, WEEK):
+            shards.append(ShardSpec("missfree", machine, seed, days,
+                                    window_seconds=window))
+        if investigators and machine_profile(machine).uses_investigators:
+            for window in (DAY, WEEK):
+                shards.append(ShardSpec("missfree", machine, seed, days,
+                                        window_seconds=window,
+                                        use_investigators=True))
+    return shards
+
+
+def reproduction_grid(machines: Sequence[str], days: float, seed: int,
+                      include_live: bool = True,
+                      include_investigators: bool = True) -> List[ShardSpec]:
+    """The full-study grid behind ``run_reproduction`` (Figures 2-3 and
+    Tables 3-5), in the same order the serial loop produced."""
+    from repro.workload import machine_profile
+    shards: List[ShardSpec] = []
+    for machine in machines:
+        profile = machine_profile(machine)
+        for window in (DAY, WEEK):
+            shards.append(ShardSpec("missfree", machine, seed, days,
+                                    window_seconds=window))
+        if include_investigators and profile.uses_investigators:
+            for window in (DAY, WEEK):
+                shards.append(ShardSpec("missfree", machine, seed, days,
+                                        window_seconds=window,
+                                        use_investigators=True))
+        if include_live:
+            shards.append(ShardSpec("live", machine, seed, days))
+    return shards
+
+
+# ----------------------------------------------------------------------
+# worker side
+# ----------------------------------------------------------------------
+# One generated trace is reused by every cell of the same
+# (machine, seed, days) that lands on this worker process.
+_TRACE_CACHE: Dict[Tuple[str, int, float], object] = {}
+_TRACE_CACHE_LIMIT = 4
+
+
+def _trace_for(machine: str, seed: int, days: float):
+    key = (machine, seed, days)
+    trace = _TRACE_CACHE.get(key)
+    if trace is None:
+        from repro.workload import generate_machine_trace, machine_profile
+        if len(_TRACE_CACHE) >= _TRACE_CACHE_LIMIT:
+            _TRACE_CACHE.clear()
+        trace = generate_machine_trace(machine_profile(machine), seed=seed,
+                                       days=days)
+        _TRACE_CACHE[key] = trace
+    return trace
+
+
+def execute_shard(spec: ShardSpec) -> ShardResult:
+    """Run one grid cell (in whatever process this is)."""
+    trace = _trace_for(spec.machine, spec.trace_seed, spec.days)
+    parameters = spec.parameters()
+    if spec.kind == "missfree":
+        from repro.simulation.missfree import simulate_miss_free
+        return simulate_miss_free(trace, spec.window_seconds,
+                                  parameters=parameters,
+                                  use_investigators=spec.use_investigators,
+                                  seed=spec.size_seed)
+    if spec.kind == "live":
+        from repro.simulation.live import simulate_live_usage
+        return simulate_live_usage(trace, parameters=parameters,
+                                   use_investigators=spec.use_investigators,
+                                   size_seed=spec.size_seed)
+    # "objective": the tuning score for this (parameters, machine) cell.
+    from repro.tuning.objective import hoard_overhead_objective
+    return hoard_overhead_objective(trace, parameters,
+                                    spec.window_seconds or DAY)
+
+
+def _run_shard(spec: ShardSpec) -> Tuple[str, Dict, float]:
+    """Pool entry point: returns (shard_id, result data, seconds)."""
+    start = time.perf_counter()
+    data = result_to_data(execute_shard(spec))
+    return spec.shard_id, data, time.perf_counter() - start
+
+
+# ----------------------------------------------------------------------
+# checkpointing
+# ----------------------------------------------------------------------
+def checkpoint_path(checkpoint_dir: str, spec: ShardSpec) -> str:
+    return os.path.join(checkpoint_dir, spec.shard_id + ".json")
+
+
+def write_checkpoint(checkpoint_dir: str, spec: ShardSpec, data: Dict,
+                     elapsed_seconds: float) -> str:
+    """Atomically persist one completed cell."""
+    path = checkpoint_path(checkpoint_dir, spec)
+    payload = {
+        "format": CHECKPOINT_FORMAT,
+        "shard_id": spec.shard_id,
+        "spec": _spec_to_data(spec),
+        "elapsed_seconds": elapsed_seconds,
+        "result": data,
+    }
+    handle, temp = tempfile.mkstemp(dir=checkpoint_dir,
+                                    prefix=spec.shard_id + ".",
+                                    suffix=".tmp")
+    try:
+        with os.fdopen(handle, "w", encoding="utf-8") as stream:
+            json.dump(payload, stream)
+        os.replace(temp, path)
+    except BaseException:
+        if os.path.exists(temp):
+            os.unlink(temp)
+        raise
+    return path
+
+
+def load_checkpoint(checkpoint_dir: str, spec: ShardSpec) -> Optional[Dict]:
+    """Reload one cell, or None if it is missing or unusable.
+
+    A checkpoint is only trusted when it parses, carries the current
+    format, and records exactly the spec being asked for -- a stale
+    file from a differently-shaped grid is recomputed, not reused.
+    """
+    path = checkpoint_path(checkpoint_dir, spec)
+    try:
+        with open(path, "r", encoding="utf-8") as stream:
+            payload = json.load(stream)
+    except (OSError, ValueError):
+        return None
+    if not isinstance(payload, dict) or \
+            payload.get("format") != CHECKPOINT_FORMAT:
+        return None
+    if payload.get("spec") != _spec_to_data(spec):
+        return None
+    result = payload.get("result")
+    if not isinstance(result, dict):
+        return None
+    return payload
+
+
+# ----------------------------------------------------------------------
+# the runner
+# ----------------------------------------------------------------------
+@dataclass
+class ShardOutcome:
+    """One completed cell: its spec, result and provenance."""
+
+    spec: ShardSpec
+    result: ShardResult
+    elapsed_seconds: float = 0.0
+    from_checkpoint: bool = False
+
+
+@dataclass
+class RunStats:
+    """What a sweep did, for tests and the --metrics report."""
+
+    shards_total: int = 0
+    shards_run: int = 0
+    shards_from_checkpoint: int = 0
+    wall_seconds: float = 0.0
+    busy_seconds: float = 0.0
+    jobs: int = 1
+
+    @property
+    def pool_utilization(self) -> float:
+        """Fraction of worker capacity kept busy (1.0 = perfect)."""
+        if self.wall_seconds <= 0 or self.jobs < 1:
+            return 0.0
+        return self.busy_seconds / (self.wall_seconds * self.jobs)
+
+
+def _absorb_shard_metrics(metrics: Metrics, spec: ShardSpec, data: Dict,
+                          elapsed: float) -> None:
+    """Merge one worker's contribution into the aggregate metrics."""
+    metrics.incr("runner.shards_completed")
+    metrics.observe(f"runner.shard.{spec.kind}", elapsed)
+    metrics.observe(f"runner.machine.{spec.machine}", elapsed)
+    metrics.mark("runner.completions")
+    snapshot = data.get("metrics") if isinstance(data, dict) else None
+    if isinstance(snapshot, dict):
+        metrics.absorb_counters(snapshot, skip_suffixes=_NON_COUNTER_SUFFIXES)
+
+
+def run_shards(shards: Sequence[ShardSpec], jobs: int = 1,
+               checkpoint_dir: Optional[str] = None, resume: bool = False,
+               metrics: Optional[Metrics] = None,
+               progress: Optional[Callable[[str], None]] = None,
+               stats: Optional[RunStats] = None) -> List[ShardOutcome]:
+    """Run every cell of *shards*, in parallel when ``jobs > 1``.
+
+    Returns outcomes in grid order regardless of completion order, so
+    downstream rendering is identical for any pool size.  ``metrics``
+    (a :class:`repro.observability.Metrics`) receives per-shard timers,
+    per-machine cost, merged ingestion counters and pool utilization;
+    ``stats`` (a :class:`RunStats`) receives the sweep-shape summary.
+    """
+    shards = list(shards)
+    ids = [spec.shard_id for spec in shards]
+    if len(set(ids)) != len(ids):
+        duplicates = sorted({i for i in ids if ids.count(i) > 1})
+        raise ValueError(f"duplicate shard ids in grid: {duplicates}")
+    if jobs < 1:
+        raise ValueError("jobs must be >= 1")
+    if stats is None:
+        stats = RunStats()
+    stats.shards_total = len(shards)
+    stats.jobs = jobs
+    if metrics is not None:
+        metrics.incr("runner.shards_total", len(shards))
+        metrics.incr("runner.jobs", jobs)
+
+    start = time.perf_counter()
+    if checkpoint_dir:
+        os.makedirs(checkpoint_dir, exist_ok=True)
+
+    completed: Dict[str, Tuple[Dict, float, bool]] = {}
+    pending: List[ShardSpec] = []
+    for spec in shards:
+        payload = load_checkpoint(checkpoint_dir, spec) \
+            if (checkpoint_dir and resume) else None
+        if payload is not None:
+            completed[spec.shard_id] = (
+                payload["result"], payload.get("elapsed_seconds", 0.0), True)
+            stats.shards_from_checkpoint += 1
+            if metrics is not None:
+                metrics.incr("runner.shards_from_checkpoint")
+            if progress is not None:
+                progress(f"machine {spec.machine}: shard {spec.shard_id} "
+                         f"restored from checkpoint")
+        else:
+            pending.append(spec)
+
+    by_id = {spec.shard_id: spec for spec in shards}
+
+    def finish(shard_id: str, data: Dict, elapsed: float) -> None:
+        spec = by_id[shard_id]
+        completed[shard_id] = (data, elapsed, False)
+        stats.shards_run += 1
+        stats.busy_seconds += elapsed
+        if checkpoint_dir:
+            write_checkpoint(checkpoint_dir, spec, data, elapsed)
+        if metrics is not None:
+            _absorb_shard_metrics(metrics, spec, data, elapsed)
+        if progress is not None:
+            progress(f"machine {spec.machine}: shard {shard_id} "
+                     f"done in {elapsed:.2f}s")
+
+    if pending:
+        if jobs == 1 or len(pending) == 1:
+            for spec in pending:
+                finish(*_run_shard(spec))
+        else:
+            workers = min(jobs, len(pending))
+            with multiprocessing.Pool(processes=workers) as pool:
+                for shard_id, data, elapsed in pool.imap_unordered(
+                        _run_shard, pending):
+                    finish(shard_id, data, elapsed)
+
+    stats.wall_seconds = time.perf_counter() - start
+    if metrics is not None:
+        metrics.observe("runner.wall", stats.wall_seconds)
+        metrics.observe("runner.busy", stats.busy_seconds)
+        metrics.incr("runner.pool_utilization_percent",
+                     int(round(100 * stats.pool_utilization)))
+
+    outcomes: List[ShardOutcome] = []
+    for spec in shards:
+        data, elapsed, from_checkpoint = completed[spec.shard_id]
+        outcomes.append(ShardOutcome(
+            spec=spec, result=result_from_data(data),
+            elapsed_seconds=elapsed, from_checkpoint=from_checkpoint))
+    return outcomes

@@ -1,0 +1,185 @@
+"""Exact JSON round-trips for simulation results.
+
+The parallel experiment runner (:mod:`repro.simulation.runner`)
+checkpoints every completed grid cell to disk and reloads it on
+``--resume``; for a resumed sweep to be byte-identical to an
+uninterrupted one, serialization must be *lossless*.  Everything here
+is therefore plain JSON of ints, floats and strings: Python's ``json``
+module round-trips both exactly (floats via shortest-repr), enums are
+stored by name, and nested dataclasses become tagged dictionaries.
+
+``result_to_data``/``result_from_data`` dispatch on a ``"type"`` tag so
+the runner can checkpoint heterogeneous grids (miss-free cells, live
+cells and tuning-objective cells) into one results directory.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Union
+
+from repro.core.hoard import MissSeverity
+from repro.simulation.live import (
+    DisconnectionOutcome,
+    LiveResult,
+    RecordedMiss,
+)
+from repro.simulation.missfree import MissFreeResult, WindowResult
+from repro.workload.sessions import Period, PeriodKind
+
+#: Anything the runner knows how to checkpoint.
+ShardResult = Union[MissFreeResult, LiveResult, float]
+
+
+# ----------------------------------------------------------------------
+# miss-free results
+# ----------------------------------------------------------------------
+def _window_to_data(window: WindowResult) -> Dict:
+    return {
+        "index": window.index,
+        "start": window.start,
+        "end": window.end,
+        "referenced_files": window.referenced_files,
+        "working_set_bytes": window.working_set_bytes,
+        "seer_bytes": window.seer_bytes,
+        "lru_bytes": window.lru_bytes,
+        "uncoverable_files": window.uncoverable_files,
+        "spy_bytes": window.spy_bytes,
+    }
+
+
+def _window_from_data(data: Dict) -> WindowResult:
+    return WindowResult(**data)
+
+
+def missfree_to_data(result: MissFreeResult) -> Dict:
+    return {
+        "type": "missfree",
+        "machine": result.machine,
+        "window_seconds": result.window_seconds,
+        "use_investigators": result.use_investigators,
+        "seed": result.seed,
+        "windows": [_window_to_data(w) for w in result.windows],
+        "metrics": result.metrics,
+    }
+
+
+def missfree_from_data(data: Dict) -> MissFreeResult:
+    return MissFreeResult(
+        machine=data["machine"],
+        window_seconds=data["window_seconds"],
+        use_investigators=data["use_investigators"],
+        seed=data["seed"],
+        windows=[_window_from_data(w) for w in data["windows"]],
+        metrics=data["metrics"],
+    )
+
+
+# ----------------------------------------------------------------------
+# live results
+# ----------------------------------------------------------------------
+def _period_to_data(period: Period) -> Dict:
+    return {"kind": period.kind.name, "start": period.start,
+            "end": period.end}
+
+
+def _period_from_data(data: Dict) -> Period:
+    return Period(kind=PeriodKind[data["kind"]], start=data["start"],
+                  end=data["end"])
+
+
+def _miss_to_data(miss: RecordedMiss) -> Dict:
+    return {
+        "path": miss.path,
+        "time": miss.time,
+        "active_hours_in": miss.active_hours_in,
+        "severity": None if miss.severity is None else miss.severity.name,
+        "automatic": miss.automatic,
+    }
+
+
+def _miss_from_data(data: Dict) -> RecordedMiss:
+    severity = data["severity"]
+    return RecordedMiss(
+        path=data["path"], time=data["time"],
+        active_hours_in=data["active_hours_in"],
+        severity=None if severity is None else MissSeverity[severity],
+        automatic=data["automatic"])
+
+
+def _outcome_to_data(outcome: DisconnectionOutcome) -> Dict:
+    return {
+        "period": _period_to_data(outcome.period),
+        "active_hours": outcome.active_hours,
+        "hoard_bytes": outcome.hoard_bytes,
+        "manual_misses": [_miss_to_data(m) for m in outcome.manual_misses],
+        "automatic_misses": [_miss_to_data(m)
+                             for m in outcome.automatic_misses],
+    }
+
+
+def _outcome_from_data(data: Dict) -> DisconnectionOutcome:
+    return DisconnectionOutcome(
+        period=_period_from_data(data["period"]),
+        active_hours=data["active_hours"],
+        hoard_bytes=data["hoard_bytes"],
+        manual_misses=[_miss_from_data(m) for m in data["manual_misses"]],
+        automatic_misses=[_miss_from_data(m)
+                          for m in data["automatic_misses"]])
+
+
+def live_to_data(result: LiveResult) -> Dict:
+    return {
+        "type": "live",
+        "machine": result.machine,
+        "hoard_budget": result.hoard_budget,
+        "outcomes": [_outcome_to_data(o) for o in result.outcomes],
+        "metrics": result.metrics,
+    }
+
+
+def live_from_data(data: Dict) -> LiveResult:
+    return LiveResult(
+        machine=data["machine"],
+        hoard_budget=data["hoard_budget"],
+        outcomes=[_outcome_from_data(o) for o in data["outcomes"]],
+        metrics=data["metrics"],
+    )
+
+
+# ----------------------------------------------------------------------
+# dispatch
+# ----------------------------------------------------------------------
+def result_to_data(result: ShardResult) -> Dict:
+    """Serialize any shard result to a JSON-safe tagged dictionary."""
+    if isinstance(result, MissFreeResult):
+        return missfree_to_data(result)
+    if isinstance(result, LiveResult):
+        return live_to_data(result)
+    if isinstance(result, (int, float)) and not isinstance(result, bool):
+        return {"type": "objective", "score": float(result)}
+    raise TypeError(f"cannot serialize shard result: {type(result)!r}")
+
+
+def comparable_data(result: ShardResult) -> Dict:
+    """Serialized form with wall-clock instrumentation stripped.
+
+    The ``metrics`` snapshot carries timings and rates that
+    legitimately vary run to run; everything else a shard produces is
+    deterministic.  Equivalence tests (serial vs parallel vs resumed)
+    compare these dictionaries.
+    """
+    data = result_to_data(result)
+    data.pop("metrics", None)
+    return data
+
+
+def result_from_data(data: Dict) -> ShardResult:
+    """Inverse of :func:`result_to_data`."""
+    kind = data.get("type")
+    if kind == "missfree":
+        return missfree_from_data(data)
+    if kind == "live":
+        return live_from_data(data)
+    if kind == "objective":
+        return data["score"]
+    raise ValueError(f"unknown shard result type: {kind!r}")

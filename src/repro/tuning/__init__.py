@@ -11,6 +11,7 @@ the miss-free hoard-size simulation across one or more machines.
 
 from repro.tuning.objective import (
     EvaluationResult,
+    aggregate_scores,
     hoard_overhead_objective,
     evaluate_parameters,
 )
@@ -25,6 +26,7 @@ from repro.tuning.search import (
 __all__ = [
     "EvaluationResult",
     "GridSearch",
+    "aggregate_scores",
     "RandomSearch",
     "SearchOutcome",
     "SweepPoint",

@@ -41,17 +41,27 @@ def hoard_overhead_objective(trace: GeneratedTrace,
     return result.mean_seer / result.mean_working_set
 
 
-def evaluate_parameters(parameters: SeerParameters,
-                        traces: Sequence[GeneratedTrace],
-                        window_seconds: float = DAY) -> EvaluationResult:
-    """Score *parameters* over every trace; the score is the mean
-    per-machine overhead (the paper tuned for "good results for all
-    users", so no machine is allowed to dominate)."""
-    per_machine: Dict[str, float] = {}
-    for trace in traces:
-        per_machine[trace.machine.name] = hoard_overhead_objective(
-            trace, parameters, window_seconds)
+def aggregate_scores(parameters: SeerParameters,
+                     per_machine: Dict[str, float]) -> EvaluationResult:
+    """Fold per-machine objective values into one evaluation.
+
+    The score is the unweighted mean (the paper tuned for "good
+    results for all users", so no machine is allowed to dominate); an
+    empty mapping scores infinite.  Both the serial evaluator and the
+    parallel sweep aggregate through here, so their rankings agree.
+    """
     values = list(per_machine.values())
     score = sum(values) / len(values) if values else float("inf")
     return EvaluationResult(parameters=parameters, score=score,
                             per_machine=per_machine)
+
+
+def evaluate_parameters(parameters: SeerParameters,
+                        traces: Sequence[GeneratedTrace],
+                        window_seconds: float = DAY) -> EvaluationResult:
+    """Score *parameters* over every trace (see :func:`aggregate_scores`)."""
+    per_machine: Dict[str, float] = {}
+    for trace in traces:
+        per_machine[trace.machine.name] = hoard_overhead_objective(
+            trace, parameters, window_seconds)
+    return aggregate_scores(parameters, per_machine)

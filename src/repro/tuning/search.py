@@ -15,7 +15,12 @@ from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple, Union
 
 from repro.core.parameters import SeerParameters
-from repro.tuning.objective import DAY, EvaluationResult, evaluate_parameters
+from repro.tuning.objective import (
+    DAY,
+    EvaluationResult,
+    aggregate_scores,
+    evaluate_parameters,
+)
 from repro.workload.generator import GeneratedTrace
 
 Candidates = Sequence
@@ -121,14 +126,53 @@ class RandomSearch:
 
 def sweep_parameter(base: SeerParameters, name: str, values: Candidates,
                     traces: Sequence[GeneratedTrace],
-                    window_seconds: float = DAY) -> List[SweepPoint]:
-    """One-dimensional sweep: vary *name*, hold everything else."""
-    points: List[SweepPoint] = []
-    for value in values:
-        parameters = _try_parameters(base, {name: value})
-        if parameters is None:
-            continue
-        points.append(SweepPoint(
-            value=value,
-            result=evaluate_parameters(parameters, traces, window_seconds)))
-    return points
+                    window_seconds: float = DAY, jobs: int = 1,
+                    checkpoint_dir: Optional[str] = None,
+                    resume: bool = False, metrics=None,
+                    progress=None) -> List[SweepPoint]:
+    """One-dimensional sweep: vary *name*, hold everything else.
+
+    With ``jobs > 1`` or a ``checkpoint_dir``, the (value x machine)
+    grid runs on the parallel experiment runner
+    (:mod:`repro.simulation.runner`): each cell is an "objective" shard
+    keyed by the full parameter set, checkpointed and resumable like
+    any other sweep.  Workers rebuild each trace from its
+    (machine, seed, days) identity, so this path expects traces
+    produced by :func:`~repro.workload.generate_machine_trace` with
+    default generation knobs -- which is what the CLI feeds it.
+    """
+    candidates = [(value, _try_parameters(base, {name: value}))
+                  for value in values]
+    valid = [(value, p) for value, p in candidates if p is not None]
+    if jobs <= 1 and not checkpoint_dir:
+        return [SweepPoint(value=value,
+                           result=evaluate_parameters(p, traces,
+                                                      window_seconds))
+                for value, p in valid]
+
+    from repro.simulation.runner import (
+        ShardSpec,
+        run_shards,
+        spec_for_parameters,
+    )
+    specs: Dict[str, ShardSpec] = {}
+    wanted = []   # (value, parameters, [(machine, shard_id), ...])
+    for value, parameters in valid:
+        cells = []
+        for trace in traces:
+            spec = spec_for_parameters(
+                ShardSpec("objective", trace.machine.name, trace.seed,
+                          trace.days, window_seconds=window_seconds),
+                parameters)
+            specs[spec.shard_id] = spec
+            cells.append((trace.machine.name, spec.shard_id))
+        wanted.append((value, parameters, cells))
+    outcomes = run_shards(list(specs.values()), jobs=jobs,
+                          checkpoint_dir=checkpoint_dir, resume=resume,
+                          metrics=metrics, progress=progress)
+    scores = {outcome.spec.shard_id: outcome.result for outcome in outcomes}
+    return [SweepPoint(value=value,
+                       result=aggregate_scores(
+                           parameters,
+                           {machine: scores[sid] for machine, sid in cells}))
+            for value, parameters, cells in wanted]

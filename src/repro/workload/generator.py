@@ -55,6 +55,10 @@ class GeneratedTrace:
     roles: Dict[str, FileRole]
     kernel: Kernel
     projects: List[Project] = field(default_factory=list)
+    # Generation inputs, kept so the parallel runner can rebuild this
+    # trace inside a worker process from the (machine, seed, days) key.
+    seed: int = 0
+    days: float = 0.0
 
     def size_of(self, path: str) -> int:
         try:
@@ -356,4 +360,5 @@ def generate_machine_trace(profile: MachineProfile, seed: int = 0,
         roles.update(project.roles)
     return GeneratedTrace(machine=profile, records=records,
                           schedule=schedule, roles=roles, kernel=kernel,
-                          projects=projects + [mail])
+                          projects=projects + [mail],
+                          seed=seed, days=span_days)

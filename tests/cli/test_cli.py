@@ -59,6 +59,40 @@ class TestCommands:
         out = capsys.readouterr().out
         assert "best:" in out
 
+    def test_figure2_parallel_identical_to_serial(self, capsys):
+        assert main(["figure2", "--machines", "E", "--days", "7",
+                     "--jobs", "2"]) == 0
+        parallel = capsys.readouterr().out
+        assert main(["figure2", "--machines", "E", "--days", "7"]) == 0
+        serial = capsys.readouterr().out
+        assert parallel == serial
+
+    def test_figure2_checkpoint_and_resume(self, tmp_path, capsys):
+        checkpoints = str(tmp_path / "cells")
+        args = ["figure2", "--machines", "E", "--days", "7",
+                "--checkpoint-dir", checkpoints]
+        assert main(args) == 0
+        first = capsys.readouterr().out
+        import os
+        assert len(os.listdir(checkpoints)) == 2   # daily + weekly cells
+        assert main(args + ["--resume"]) == 0
+        captured = capsys.readouterr()
+        assert captured.out == first
+        assert "restored from checkpoint" in captured.err
+
+    def test_figure2_metrics_reports_runner(self, capsys):
+        assert main(["figure2", "--machines", "E", "--days", "7",
+                     "--metrics"]) == 0
+        err = capsys.readouterr().err
+        assert "runner.shards_total" in err
+        assert "runner.pool_utilization_percent" in err
+
+    def test_sweep_parallel(self, capsys):
+        assert main(["sweep", "E", "--days", "7",
+                     "--parameter", "kf_fraction",
+                     "--values", "0.45", "0.55", "--jobs", "2"]) == 0
+        assert "best:" in capsys.readouterr().out
+
     def test_report_with_exports(self, tmp_path, capsys):
         json_path = str(tmp_path / "out.json")
         csv_path = str(tmp_path / "out.csv")

@@ -1,0 +1,48 @@
+"""Golden-output regression harness.
+
+Each golden test renders a paper artifact (Figure 2, Figure 3,
+Table 3) from a fixed small study and compares it byte-for-byte
+against a fixture committed next to the tests.  Any change to the
+workload model, the simulators, the runner or the renderers that
+shifts an output shows up as a diff here -- intentional drift is
+recorded by regenerating the fixtures with one command:
+
+    REPRO_UPDATE_GOLDEN=1 PYTHONPATH=src python -m pytest tests/golden
+
+and committing the rewritten ``tests/golden/*.txt`` files.
+"""
+
+import os
+
+import pytest
+
+GOLDEN_DIR = os.path.dirname(__file__)
+UPDATE_ENV = "REPRO_UPDATE_GOLDEN"
+
+
+def assert_matches_golden(name: str, text: str) -> None:
+    """Compare *text* against the committed fixture *name*.
+
+    With ``REPRO_UPDATE_GOLDEN`` set the fixture is rewritten first,
+    so a regeneration run both updates and re-verifies in one pass.
+    """
+    path = os.path.join(GOLDEN_DIR, name)
+    rendered = text if text.endswith("\n") else text + "\n"
+    if os.environ.get(UPDATE_ENV):
+        with open(path, "w", encoding="utf-8") as stream:
+            stream.write(rendered)
+    if not os.path.exists(path):
+        pytest.fail(
+            f"golden fixture {name} is missing; regenerate it with "
+            f"{UPDATE_ENV}=1 python -m pytest tests/golden")
+    with open(path, "r", encoding="utf-8") as stream:
+        expected = stream.read()
+    assert rendered == expected, (
+        f"{name} drifted from its golden fixture; if the change is "
+        f"intentional, regenerate with {UPDATE_ENV}=1 "
+        f"python -m pytest tests/golden and commit the diff")
+
+
+@pytest.fixture(scope="session")
+def golden():
+    return assert_matches_golden

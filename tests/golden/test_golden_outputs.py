@@ -1,0 +1,59 @@
+"""Golden-output regression tests for Figures 2-3 and Table 3.
+
+The study is intentionally small (three machines, 14-21 days) so the
+suite stays in tier-1 runtime, but it covers both disconnection
+periods, an investigator machine (F) and the live simulation.  All
+results are produced through the parallel experiment runner's serial
+path, so these fixtures also pin the runner's serde round-trip.
+"""
+
+import pytest
+
+from repro.analysis import render_figure2, render_figure3, render_table3
+from repro.simulation.runner import (
+    WEEK,
+    ShardSpec,
+    figure2_grid,
+    run_shards,
+)
+
+MACHINES = ["C", "E", "F"]
+DAYS = 14.0
+SEED = 1
+
+
+@pytest.fixture(scope="module")
+def figure2_results():
+    outcomes = run_shards(
+        figure2_grid(MACHINES, DAYS, SEED, investigators=True), jobs=1)
+    return [outcome.result for outcome in outcomes]
+
+
+@pytest.fixture(scope="module")
+def live_results():
+    shards = [ShardSpec("live", machine, SEED, DAYS)
+              for machine in MACHINES]
+    return [outcome.result for outcome in run_shards(shards, jobs=1)]
+
+
+@pytest.fixture(scope="module")
+def figure3_result():
+    # The paper's Figure 3 machine (F) under weekly disconnections; 21
+    # days gives multiple measured windows.
+    (outcome,) = run_shards(
+        [ShardSpec("missfree", "F", SEED, 21.0, window_seconds=WEEK)],
+        jobs=1)
+    return outcome.result
+
+
+def test_figure2_pinned(golden, figure2_results):
+    golden("figure2.txt", render_figure2(figure2_results, show_ci=False))
+
+
+def test_figure3_pinned(golden, figure3_result):
+    assert len(figure3_result.windows) >= 2
+    golden("figure3.txt", render_figure3(figure3_result))
+
+
+def test_table3_pinned(golden, live_results):
+    golden("table3.txt", render_table3(live_results))

@@ -1,0 +1,229 @@
+"""Unit tests for the parallel experiment runner."""
+
+import json
+import os
+
+import pytest
+
+from repro.observability import Metrics
+from repro.simulation.runner import (
+    DAY,
+    WEEK,
+    RunStats,
+    ShardSpec,
+    checkpoint_path,
+    figure2_grid,
+    load_checkpoint,
+    reproduction_grid,
+    run_shards,
+    spec_for_parameters,
+    write_checkpoint,
+)
+from repro.simulation.serde import comparable_data
+
+
+SMALL = dict(machine="E", trace_seed=1, days=5.0)
+
+
+def small_grid():
+    return [
+        ShardSpec("missfree", window_seconds=DAY, **SMALL),
+        ShardSpec("missfree", window_seconds=WEEK, **SMALL),
+        ShardSpec("live", **SMALL),
+    ]
+
+
+class TestShardSpec:
+    def test_id_is_deterministic(self):
+        a = ShardSpec("missfree", "C", 1, 28.0, window_seconds=DAY)
+        b = ShardSpec("missfree", "C", 1, 28.0, window_seconds=DAY)
+        assert a.shard_id == b.shard_id
+
+    def test_id_distinguishes_every_axis(self):
+        base = ShardSpec("missfree", "C", 1, 28.0, window_seconds=DAY)
+        variants = [
+            ShardSpec("live", "C", 1, 28.0),
+            ShardSpec("missfree", "D", 1, 28.0, window_seconds=DAY),
+            ShardSpec("missfree", "C", 2, 28.0, window_seconds=DAY),
+            ShardSpec("missfree", "C", 1, 14.0, window_seconds=DAY),
+            ShardSpec("missfree", "C", 1, 28.0, window_seconds=WEEK),
+            ShardSpec("missfree", "C", 1, 28.0, window_seconds=DAY,
+                      use_investigators=True),
+            ShardSpec("missfree", "C", 1, 28.0, window_seconds=DAY,
+                      size_seed=3),
+        ]
+        ids = {base.shard_id} | {v.shard_id for v in variants}
+        assert len(ids) == len(variants) + 1
+
+    def test_id_reflects_parameters(self):
+        from repro.simulation import SIM_PARAMETERS
+        base = ShardSpec("objective", "C", 1, 28.0, window_seconds=DAY)
+        a = spec_for_parameters(base, SIM_PARAMETERS)
+        b = spec_for_parameters(base,
+                                SIM_PARAMETERS.with_changes(max_neighbors=7))
+        assert a.shard_id != b.shard_id
+        assert a.shard_id == spec_for_parameters(base, SIM_PARAMETERS).shard_id
+
+    def test_parameters_rebuilt_exactly(self):
+        from repro.simulation import SIM_PARAMETERS
+        spec = spec_for_parameters(
+            ShardSpec("objective", "C", 1, 28.0, window_seconds=DAY),
+            SIM_PARAMETERS)
+        assert spec.parameters() == SIM_PARAMETERS
+
+    def test_default_parameters_are_none(self):
+        assert ShardSpec("live", "C", 1, 28.0).parameters() is None
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ValueError):
+            ShardSpec("mystery", "C", 1, 28.0)
+
+    def test_id_is_filesystem_safe(self):
+        for spec in reproduction_grid(list("ABC"), 28.0, 1):
+            assert spec.shard_id == os.path.basename(spec.shard_id)
+            assert "/" not in spec.shard_id and " " not in spec.shard_id
+
+
+class TestGrids:
+    def test_figure2_grid_shape(self):
+        shards = figure2_grid(["C", "F"], 28.0, 1, investigators=True)
+        # C: daily+weekly; F (an investigator machine): those plus two
+        # investigator cells.
+        kinds = [(s.machine, s.window_seconds, s.use_investigators)
+                 for s in shards]
+        assert kinds == [
+            ("C", DAY, False), ("C", WEEK, False),
+            ("F", DAY, False), ("F", WEEK, False),
+            ("F", DAY, True), ("F", WEEK, True),
+        ]
+
+    def test_figure2_grid_without_investigators(self):
+        shards = figure2_grid(["F"], 28.0, 1, investigators=False)
+        assert all(not s.use_investigators for s in shards)
+
+    def test_reproduction_grid_matches_serial_order(self):
+        shards = reproduction_grid(["B"], 10.0, 1)
+        assert [s.kind for s in shards] == ["missfree"] * 4 + ["live"]
+        assert [s.use_investigators for s in shards] == \
+            [False, False, True, True, False]
+
+
+class TestCheckpoints:
+    def test_write_then_load(self, tmp_path):
+        spec = small_grid()[0]
+        data = {"type": "missfree", "machine": "E"}
+        write_checkpoint(str(tmp_path), spec, data, 1.5)
+        payload = load_checkpoint(str(tmp_path), spec)
+        assert payload["result"] == data
+        assert payload["elapsed_seconds"] == 1.5
+
+    def test_missing_returns_none(self, tmp_path):
+        assert load_checkpoint(str(tmp_path), small_grid()[0]) is None
+
+    def test_corrupt_file_discarded(self, tmp_path):
+        spec = small_grid()[0]
+        with open(checkpoint_path(str(tmp_path), spec), "w") as stream:
+            stream.write('{"format": 1, "spec": {')   # truncated write
+        assert load_checkpoint(str(tmp_path), spec) is None
+
+    def test_wrong_format_discarded(self, tmp_path):
+        spec = small_grid()[0]
+        with open(checkpoint_path(str(tmp_path), spec), "w") as stream:
+            json.dump({"format": 999}, stream)
+        assert load_checkpoint(str(tmp_path), spec) is None
+
+    def test_spec_mismatch_discarded(self, tmp_path):
+        """A checkpoint recorded for a different cell is never reused,
+        even if it somehow landed under this cell's file name."""
+        spec, other = small_grid()[0], small_grid()[1]
+        write_checkpoint(str(tmp_path), other, {"type": "missfree"}, 0.1)
+        os.replace(checkpoint_path(str(tmp_path), other),
+                   checkpoint_path(str(tmp_path), spec))
+        assert load_checkpoint(str(tmp_path), spec) is None
+
+    def test_no_temp_files_left_behind(self, tmp_path):
+        write_checkpoint(str(tmp_path), small_grid()[0], {"a": 1}, 0.0)
+        assert all(not name.endswith(".tmp") for name in os.listdir(tmp_path))
+
+
+class TestRunShards:
+    def test_duplicate_ids_rejected(self):
+        spec = small_grid()[0]
+        with pytest.raises(ValueError):
+            run_shards([spec, spec])
+
+    def test_bad_jobs_rejected(self):
+        with pytest.raises(ValueError):
+            run_shards(small_grid(), jobs=0)
+
+    def test_outcomes_in_grid_order(self):
+        shards = small_grid()
+        outcomes = run_shards(shards, jobs=1)
+        assert [o.spec for o in outcomes] == shards
+
+    def test_checkpoints_written(self, tmp_path):
+        shards = small_grid()
+        run_shards(shards, jobs=1, checkpoint_dir=str(tmp_path))
+        names = sorted(os.listdir(tmp_path))
+        assert names == sorted(s.shard_id + ".json" for s in shards)
+
+    def test_resume_skips_completed_cells(self, tmp_path):
+        shards = small_grid()
+        first = run_shards(shards, jobs=1, checkpoint_dir=str(tmp_path))
+        # Lose one cell, as if the sweep was killed before writing it.
+        os.unlink(checkpoint_path(str(tmp_path), shards[1]))
+        stats = RunStats()
+        second = run_shards(shards, jobs=1, checkpoint_dir=str(tmp_path),
+                            resume=True, stats=stats)
+        assert stats.shards_from_checkpoint == 2
+        assert stats.shards_run == 1
+        assert [o.from_checkpoint for o in second] == [True, False, True]
+        assert [comparable_data(o.result) for o in first] == \
+            [comparable_data(o.result) for o in second]
+
+    def test_without_resume_everything_recomputes(self, tmp_path):
+        shards = small_grid()
+        run_shards(shards, jobs=1, checkpoint_dir=str(tmp_path))
+        stats = RunStats()
+        run_shards(shards, jobs=1, checkpoint_dir=str(tmp_path), stats=stats)
+        assert stats.shards_run == len(shards)
+        assert stats.shards_from_checkpoint == 0
+
+    def test_objective_shards_run(self):
+        from repro.simulation import SIM_PARAMETERS
+        spec = spec_for_parameters(
+            ShardSpec("objective", window_seconds=DAY, **SMALL),
+            SIM_PARAMETERS)
+        (outcome,) = run_shards([spec], jobs=1)
+        assert isinstance(outcome.result, float)
+        assert outcome.result >= 0.9
+
+    def test_metrics_threaded_through(self):
+        metrics = Metrics()
+        run_shards(small_grid(), jobs=1, metrics=metrics)
+        snapshot = metrics.snapshot()
+        assert snapshot["runner.shards_total"] == 3
+        assert snapshot["runner.shards_completed"] == 3
+        assert snapshot["runner.machine.E.calls"] == 3
+        assert snapshot["runner.shard.missfree.calls"] == 2
+        assert snapshot["runner.shard.live.calls"] == 1
+        assert "runner.pool_utilization_percent" in snapshot
+        # Workers' ingestion counters are merged at join.
+        assert snapshot.get("correlator.distances_ingested", 0) > 0
+        # ...but their wall-clock span derivatives are not summed.
+        assert "correlator.ingest.per_second" not in snapshot
+
+    def test_stats_utilization(self):
+        stats = RunStats(wall_seconds=10.0, busy_seconds=15.0, jobs=2)
+        assert stats.pool_utilization == pytest.approx(0.75)
+        assert RunStats().pool_utilization == 0.0
+
+    def test_progress_messages(self, tmp_path):
+        messages = []
+        run_shards(small_grid(), jobs=1, checkpoint_dir=str(tmp_path),
+                   progress=messages.append)
+        assert len(messages) == 3 and all("machine E" in m for m in messages)
+        messages.clear()
+        run_shards(small_grid(), jobs=1, checkpoint_dir=str(tmp_path),
+                   resume=True, progress=messages.append)
+        assert all("restored from checkpoint" in m for m in messages)

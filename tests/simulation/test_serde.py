@@ -1,0 +1,100 @@
+"""Lossless JSON round-trips for checkpointed simulation results."""
+
+import json
+
+import pytest
+
+from repro.core.hoard import MissSeverity
+from repro.simulation.live import (
+    DisconnectionOutcome,
+    LiveResult,
+    RecordedMiss,
+)
+from repro.simulation.missfree import MissFreeResult, WindowResult
+from repro.simulation.serde import (
+    comparable_data,
+    result_from_data,
+    result_to_data,
+)
+from repro.workload.sessions import Period, PeriodKind
+
+
+def make_missfree() -> MissFreeResult:
+    return MissFreeResult(
+        machine="C", window_seconds=86400.0, use_investigators=True, seed=2,
+        windows=[
+            WindowResult(index=0, start=0.0, end=86400.0,
+                         referenced_files=12, working_set_bytes=1048576,
+                         seer_bytes=1310720, lru_bytes=9437184,
+                         uncoverable_files=1, spy_bytes=2097152),
+            WindowResult(index=3, start=259200.0, end=345600.0,
+                         referenced_files=7, working_set_bytes=73728,
+                         seer_bytes=81920, lru_bytes=524288,
+                         uncoverable_files=0),
+        ],
+        metrics={"correlator.references": 1234.0, "neighbor.evictions": 5})
+
+
+def make_live() -> LiveResult:
+    period = Period(PeriodKind.DISCONNECTED, start=3600.0, end=7200.5)
+    return LiveResult(
+        machine="F", hoard_budget=2279513,
+        outcomes=[DisconnectionOutcome(
+            period=period, active_hours=0.75, hoard_bytes=2000000,
+            manual_misses=[RecordedMiss(
+                path="/home/u/p/main.c", time=4000.0, active_hours_in=0.1,
+                severity=MissSeverity.TASK_CHANGED, automatic=False)],
+            automatic_misses=[RecordedMiss(
+                path="/home/u/p/util.h", time=4001.5, active_hours_in=0.11,
+                severity=None, automatic=True)])],
+        metrics={"correlator.ingest.count": 99})
+
+
+class TestRoundTrip:
+    def test_missfree_exact(self):
+        original = make_missfree()
+        restored = result_from_data(result_to_data(original))
+        assert restored == original
+
+    def test_live_exact(self):
+        original = make_live()
+        restored = result_from_data(result_to_data(original))
+        assert restored == original
+
+    def test_objective_exact(self):
+        assert result_from_data(result_to_data(1.0625)) == 1.0625
+
+    def test_survives_json_text(self):
+        """The checkpoint file path: dict -> JSON text -> dict."""
+        for original in (make_missfree(), make_live(), 2.5):
+            text = json.dumps(result_to_data(original))
+            assert result_from_data(json.loads(text)) == original
+
+    def test_float_fidelity_through_json(self):
+        result = make_live()
+        result.outcomes[0].manual_misses[0].active_hours_in = 0.1 + 0.2
+        text = json.dumps(result_to_data(result))
+        restored = result_from_data(json.loads(text))
+        assert restored.outcomes[0].manual_misses[0].active_hours_in \
+            == 0.1 + 0.2
+
+    def test_empty_results(self):
+        empty = MissFreeResult("E", 86400.0, False, 0)
+        assert result_from_data(result_to_data(empty)) == empty
+        quiet = LiveResult("E", 100)
+        assert result_from_data(result_to_data(quiet)) == quiet
+
+
+class TestDispatch:
+    def test_unknown_type_rejected(self):
+        with pytest.raises(ValueError):
+            result_from_data({"type": "mystery"})
+
+    def test_unserializable_rejected(self):
+        with pytest.raises(TypeError):
+            result_to_data(object())
+
+    def test_comparable_data_strips_metrics(self):
+        data = comparable_data(make_missfree())
+        assert "metrics" not in data
+        assert data["machine"] == "C"

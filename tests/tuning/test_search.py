@@ -8,6 +8,7 @@ from repro.tuning import (
     EvaluationResult,
     GridSearch,
     RandomSearch,
+    aggregate_scores,
     evaluate_parameters,
     hoard_overhead_objective,
     sweep_parameter,
@@ -112,3 +113,58 @@ class TestSweep:
         points = sweep_parameter(SIM_PARAMETERS, "kn_fraction",
                                  [0.1, 0.7], traces)   # 0.1 < kf_fraction
         assert [p.value for p in points] == [0.7]
+
+
+class TestAggregation:
+    def test_mean_over_machines(self):
+        result = aggregate_scores(SIM_PARAMETERS,
+                                  {"C": 1.0, "D": 2.0, "F": 3.0})
+        assert result.score == pytest.approx(2.0)
+        assert result.per_machine == {"C": 1.0, "D": 2.0, "F": 3.0}
+
+    def test_single_machine_is_its_own_score(self):
+        result = aggregate_scores(SIM_PARAMETERS, {"E": 1.25})
+        assert result.score == pytest.approx(1.25)
+
+    def test_empty_is_infinite(self):
+        assert aggregate_scores(SIM_PARAMETERS, {}).score == float("inf")
+
+    def test_evaluate_parameters_uses_same_aggregation(self, traces):
+        evaluated = evaluate_parameters(SIM_PARAMETERS, traces)
+        assert evaluated.score == \
+            aggregate_scores(SIM_PARAMETERS, evaluated.per_machine).score
+
+
+class TestParallelSweep:
+    """The sweep satellite: sweep_parameter rides the experiment runner."""
+
+    def test_parallel_matches_serial(self, traces):
+        serial = sweep_parameter(SIM_PARAMETERS, "max_neighbors",
+                                 [10, 20], traces)
+        parallel = sweep_parameter(SIM_PARAMETERS, "max_neighbors",
+                                   [10, 20], traces, jobs=2)
+        assert [p.value for p in parallel] == [p.value for p in serial]
+        for a, b in zip(serial, parallel):
+            assert b.result.score == pytest.approx(a.result.score)
+            assert b.result.per_machine == a.result.per_machine
+
+    def test_parallel_skips_invalid(self, traces):
+        points = sweep_parameter(SIM_PARAMETERS, "kn_fraction",
+                                 [0.1, 0.7], traces, jobs=2)
+        assert [p.value for p in points] == [0.7]
+
+    def test_checkpointed_sweep_resumes(self, traces, tmp_path):
+        first = sweep_parameter(SIM_PARAMETERS, "max_neighbors", [10, 20],
+                                traces, checkpoint_dir=str(tmp_path))
+        resumed = sweep_parameter(SIM_PARAMETERS, "max_neighbors", [10, 20],
+                                  traces, checkpoint_dir=str(tmp_path),
+                                  resume=True)
+        assert [p.result.score for p in resumed] == \
+            [p.result.score for p in first]
+
+    def test_duplicate_values_collapse_to_one_cell(self, traces, tmp_path):
+        points = sweep_parameter(SIM_PARAMETERS, "max_neighbors", [10, 10],
+                                 traces, jobs=2,
+                                 checkpoint_dir=str(tmp_path))
+        assert [p.value for p in points] == [10, 10]
+        assert points[0].result.score == points[1].result.score
