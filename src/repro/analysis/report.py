@@ -106,7 +106,9 @@ def run_reproduction(machines: Sequence[str] = ("C", "D", "F"),
                      progress=None, jobs: int = 1,
                      checkpoint_dir: Optional[str] = None,
                      resume: bool = False,
-                     metrics=None) -> ReproductionReport:
+                     metrics=None,
+                     fault_profile: Optional[str] = None,
+                     fault_seed: int = 0) -> ReproductionReport:
     """Run the evaluation for *machines* and return the report.
 
     The (machine x period x simulator) grid runs on the parallel
@@ -114,13 +116,17 @@ def run_reproduction(machines: Sequence[str] = ("C", "D", "F"),
     checkpoints under *checkpoint_dir*, and *resume* to restart an
     interrupted study recomputing only the missing cells.  Results are
     identical for every *jobs* value (see docs/parallel-runner.md).
+    *fault_profile*/*fault_seed* turn on deterministic fault injection
+    for the live cells (docs/fault-injection.md).
     """
     from repro.simulation.runner import reproduction_grid, run_shards
     report = ReproductionReport(machines=list(machines), days=days, seed=seed)
     start = time.time()
     shards = reproduction_grid(machines, days, seed,
                                include_live=include_live,
-                               include_investigators=include_investigators)
+                               include_investigators=include_investigators,
+                               fault_profile=fault_profile,
+                               fault_seed=fault_seed)
     outcomes = run_shards(shards, jobs=jobs, checkpoint_dir=checkpoint_dir,
                           resume=resume, metrics=metrics, progress=progress)
     for outcome in outcomes:

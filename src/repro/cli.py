@@ -19,6 +19,13 @@ grid across N worker processes, ``--checkpoint-dir DIR`` persists one
 JSON file per completed cell, and ``--resume`` restarts an interrupted
 study recomputing only the missing cells.  Output is identical for
 every ``--jobs`` value.
+
+``live`` and ``report`` accept ``--fault-profile``/``--fault-seed``
+(docs/fault-injection.md): deterministic injection of surprise
+disconnections mid-hoard-fill, failed synchronizations retried with
+exponential backoff, and flaky server reads.  Injected faults appear
+as ``faults.*`` counters under ``--metrics``; without the flags the
+output is byte-identical to a fault-free run.
 """
 
 from __future__ import annotations
@@ -68,6 +75,24 @@ def _add_runner_arguments(parser: argparse.ArgumentParser) -> None:
                         help="reload completed cells from "
                              "--checkpoint-dir and run only the missing "
                              "ones")
+
+
+def _add_fault_arguments(parser: argparse.ArgumentParser) -> None:
+    """Fault-injection flags (docs/fault-injection.md)."""
+    from repro.faults import PROFILES
+    parser.add_argument("--fault-profile", choices=sorted(PROFILES),
+                        default=None, metavar="PROFILE",
+                        help="inject deterministic faults: surprise "
+                             "disconnections mid-hoard-fill, failed "
+                             "synchronizations with retry/backoff, flaky "
+                             "server reads (profiles: "
+                             + ", ".join(sorted(PROFILES)) + "; 'none' "
+                             "is inert and output-identical to omitting "
+                             "the flag)")
+    parser.add_argument("--fault-seed", type=int, default=0,
+                        help="seed of the fault decision stream "
+                             "(default 0); same profile + seed replays "
+                             "the same faults")
 
 
 def _trace_for(args):
@@ -131,7 +156,12 @@ def cmd_missfree(args) -> int:
 
 def cmd_live(args) -> int:
     trace = _trace_for(args)
-    result = simulate_live_usage(trace)
+    result = simulate_live_usage(trace,
+                                 fault_profile=args.fault_profile,
+                                 fault_seed=args.fault_seed)
+    if args.fault_profile:
+        print(f"(fault profile {args.fault_profile!r}, "
+              f"fault seed {args.fault_seed})", file=sys.stderr)
     print(render_table3([result]))
     print()
     print(render_table4([result]))
@@ -165,6 +195,8 @@ def cmd_report(args) -> int:
                               seed=args.seed, jobs=args.jobs,
                               checkpoint_dir=args.checkpoint_dir,
                               resume=args.resume, metrics=metrics,
+                              fault_profile=args.fault_profile,
+                              fault_seed=args.fault_seed,
                               progress=lambda msg: print(msg, file=sys.stderr))
     print(report.render())
     if args.metrics:
@@ -241,8 +273,11 @@ def build_parser() -> argparse.ArgumentParser:
 
     live = commands.add_parser("live", help="live-usage simulation")
     _add_machine_arguments(live)
+    _add_fault_arguments(live)
     live.add_argument("--metrics", action="store_true",
-                      help="print ingestion-pipeline counters to stderr")
+                      help="print ingestion-pipeline counters (and, "
+                           "with --fault-profile, faults.* injection/"
+                           "retry/backoff counters) to stderr")
     live.set_defaults(handler=cmd_live)
 
     figure2 = commands.add_parser("figure2", help="multi-machine Figure 2")
@@ -267,6 +302,7 @@ def build_parser() -> argparse.ArgumentParser:
     report.add_argument("--json", help="also export summary rows as JSON")
     report.add_argument("--csv", help="also export per-window rows as CSV")
     _add_runner_arguments(report)
+    _add_fault_arguments(report)
     report.add_argument("--metrics", action="store_true",
                         help="print runner and ingestion counters to stderr")
     report.set_defaults(handler=cmd_report)

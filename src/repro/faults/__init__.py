@@ -1,0 +1,41 @@
+"""Deterministic fault injection for the replication substrates.
+
+SEER exists to survive *unplanned* disconnection, so the harness must
+be able to express more than the happy path: surprise disconnections
+mid-hoard-fill, synchronizations that fail and back off, gossip that
+drops or delays reconciliations, servers that stall during a fill.
+This package provides the seedable :class:`FaultInjector` that every
+:class:`~repro.replication.base.ReplicationSystem` and the
+:class:`~repro.replication.gossip.RumorNetwork` accept, the named
+:class:`FaultProfile` levels the CLI exposes as ``--fault-profile``,
+and their exact JSON round-trip for runner checkpoints.
+
+See docs/fault-injection.md for the profile catalogue, the
+retry/backoff policy and the no-fault golden-equivalence guarantee.
+"""
+
+from repro.faults.injector import FaultInjector
+from repro.faults.profile import (
+    FLAKY,
+    HOSTILE,
+    LOSSY,
+    NO_FAULTS,
+    PROFILES,
+    FaultProfile,
+    profile_from_data,
+    profile_from_name,
+    profile_to_data,
+)
+
+__all__ = [
+    "FLAKY",
+    "HOSTILE",
+    "LOSSY",
+    "NO_FAULTS",
+    "PROFILES",
+    "FaultInjector",
+    "FaultProfile",
+    "profile_from_data",
+    "profile_from_name",
+    "profile_to_data",
+]

@@ -1,0 +1,144 @@
+"""Fault profiles: named, serializable descriptions of adversity.
+
+A :class:`FaultProfile` is a frozen bag of probabilities and policy
+constants covering the four fault classes the harness injects
+(docs/fault-injection.md):
+
+(a) **surprise disconnection mid-hoard-fill** -- the user walks away
+    before the fill completes (paper section 2's "disconnection
+    imminent" notification never arrives in time);
+(b) **interrupted synchronization** -- ``synchronize()`` attempts fail
+    and are retried with exponential backoff under a bounded-attempts
+    policy (:class:`repro.replication.base.RetryPolicy`);
+(c) **lossy gossip** -- pairwise reconciliations dropped, duplicated
+    or delayed on the :class:`~repro.replication.gossip.RumorNetwork`
+    plane;
+(d) **slow/flaky server reads** -- stats issued during
+    ``set_hoard``/``hoard_walk`` fail or stall.
+
+Profiles are identified by name so a CLI flag, a checkpoint and a CI
+matrix can all refer to the same adversity level; ``profile_to_data``
+and ``profile_from_data`` give the exact JSON round-trip the runner's
+checkpoints require.  The ``none`` profile is *inert*: every
+probability is zero, no random numbers are ever drawn, and every code
+path behaves byte-identically to a build without fault injection.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from dataclasses import dataclass
+from typing import Dict
+
+
+@dataclass(frozen=True)
+class FaultProfile:
+    """Probabilities and policy constants for one adversity level."""
+
+    name: str
+    # (a) surprise disconnection during the hoard fill
+    fill_interrupt_probability: float = 0.0
+    # (b) failed synchronize() attempts + retry/backoff policy
+    sync_failure_probability: float = 0.0
+    max_sync_attempts: int = 3
+    backoff_initial_seconds: float = 1.0
+    backoff_multiplier: float = 2.0
+    backoff_max_seconds: float = 60.0
+    # (c) gossip-plane reconciliation faults
+    gossip_drop_probability: float = 0.0
+    gossip_duplicate_probability: float = 0.0
+    gossip_delay_probability: float = 0.0
+    gossip_max_delay_rounds: int = 2
+    # (d) flaky/slow server reads during hoard fills
+    read_failure_probability: float = 0.0
+    read_latency_seconds: float = 0.0
+
+    def __post_init__(self) -> None:
+        for name in ("fill_interrupt_probability", "sync_failure_probability",
+                     "gossip_drop_probability",
+                     "gossip_duplicate_probability",
+                     "gossip_delay_probability", "read_failure_probability"):
+            value = getattr(self, name)
+            if not 0.0 <= value <= 1.0:
+                raise ValueError(f"{name} must be in [0, 1], got {value}")
+        if self.max_sync_attempts < 1:
+            raise ValueError("max_sync_attempts must be >= 1")
+        if self.gossip_max_delay_rounds < 1:
+            raise ValueError("gossip_max_delay_rounds must be >= 1")
+
+    @property
+    def inert(self) -> bool:
+        """True when no fault can ever fire (the golden-path profile)."""
+        return not any((
+            self.fill_interrupt_probability,
+            self.sync_failure_probability,
+            self.gossip_drop_probability,
+            self.gossip_duplicate_probability,
+            self.gossip_delay_probability,
+            self.read_failure_probability,
+        ))
+
+
+#: The inert profile: behaviour is byte-identical to no injection.
+NO_FAULTS = FaultProfile(name="none")
+
+#: A lossy, partition-prone network: gossip reconciliations are
+#: dropped, duplicated and delayed, and synchronizations fail often
+#: enough to exercise the retry/backoff path.
+LOSSY = FaultProfile(
+    name="lossy",
+    sync_failure_probability=0.25,
+    gossip_drop_probability=0.20,
+    gossip_duplicate_probability=0.10,
+    gossip_delay_probability=0.15,
+    gossip_max_delay_rounds=3,
+)
+
+#: A flaky server and an impatient user: reads stall or fail during
+#: the hoard fill, and the laptop sometimes leaves mid-fill.
+FLAKY = FaultProfile(
+    name="flaky",
+    fill_interrupt_probability=0.30,
+    sync_failure_probability=0.10,
+    read_failure_probability=0.10,
+    read_latency_seconds=0.5,
+)
+
+#: Both at once, turned up: the stress profile.
+HOSTILE = FaultProfile(
+    name="hostile",
+    fill_interrupt_probability=0.50,
+    sync_failure_probability=0.40,
+    max_sync_attempts=4,
+    gossip_drop_probability=0.35,
+    gossip_duplicate_probability=0.20,
+    gossip_delay_probability=0.25,
+    gossip_max_delay_rounds=4,
+    read_failure_probability=0.25,
+    read_latency_seconds=1.5,
+)
+
+PROFILES: Dict[str, FaultProfile] = {
+    profile.name: profile
+    for profile in (NO_FAULTS, LOSSY, FLAKY, HOSTILE)
+}
+
+
+def profile_from_name(name: str) -> FaultProfile:
+    """Look up a named profile (CLI ``--fault-profile`` values)."""
+    try:
+        return PROFILES[name]
+    except KeyError:
+        known = ", ".join(sorted(PROFILES))
+        raise ValueError(f"unknown fault profile {name!r} (known: {known})") \
+            from None
+
+
+def profile_to_data(profile: FaultProfile) -> Dict:
+    """JSON-safe dictionary form (runner checkpoints)."""
+    return dataclasses.asdict(profile)
+
+
+def profile_from_data(data: Dict) -> FaultProfile:
+    """Exact inverse of :func:`profile_to_data`."""
+    return FaultProfile(**data)

@@ -22,12 +22,15 @@ from repro.replication.base import (
     AccessOutcome,
     AccessResult,
     ConflictRecord,
+    HoardFill,
     ReplicationSystem,
+    RetryPolicy,
+    SyncReport,
 )
 from repro.replication.cheap_rumor import CheapRumor
 from repro.replication.coda import CodaReplication
 from repro.replication.ficus import FicusReplication
-from repro.replication.gossip import GossipRound, RumorNetwork
+from repro.replication.gossip import ConvergenceReport, GossipRound, RumorNetwork
 from repro.replication.little_work import LittleWork, LogEntry, LogOperation
 from repro.replication.rumor import Rumor, RumorReplica, VersionVector
 
@@ -37,14 +40,18 @@ __all__ = [
     "CheapRumor",
     "CodaReplication",
     "ConflictRecord",
+    "ConvergenceReport",
     "FicusReplication",
     "GossipRound",
+    "HoardFill",
     "LittleWork",
     "LogEntry",
     "LogOperation",
     "ReplicationSystem",
+    "RetryPolicy",
     "Rumor",
     "RumorNetwork",
     "RumorReplica",
+    "SyncReport",
     "VersionVector",
 ]

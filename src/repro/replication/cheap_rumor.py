@@ -26,7 +26,7 @@ class CheapRumor(ReplicationSystem):
     def synchronize(self) -> List[ConflictRecord]:
         if not self.connected:
             raise RuntimeError("cannot synchronize while disconnected")
-        new_conflicts: List[ConflictRecord] = []
+        new_conflicts: List[ConflictRecord] = self._drain_offline_updates()
         for path in sorted(self.hoarded):
             node = self._server_node(path)
             if node is None:

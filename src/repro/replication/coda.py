@@ -13,7 +13,13 @@ from typing import Callable, Dict, List, Optional, Set
 
 from repro.baselines.coda_priority import HoardProfile
 from repro.fs import FileSystem
-from repro.replication.base import AccessOutcome, AccessResult, ConflictRecord, ReplicationSystem
+from repro.replication.base import (
+    AccessOutcome,
+    AccessResult,
+    ConflictRecord,
+    HoardFill,
+    ReplicationSystem,
+)
 
 
 class CodaReplication(ReplicationSystem):
@@ -28,20 +34,25 @@ class CodaReplication(ReplicationSystem):
         self.profiles: List[HoardProfile] = []
         self._callbacks: Set[str] = set()     # paths with a held callback
         self._broken: Set[str] = set()        # callbacks broken by updates
+        # Breaks the server issued while we were unreachable; the
+        # client learns about them at reconnection, not before.
+        self._pending_breaks: Set[str] = set()
 
     # ------------------------------------------------------------------
     # callbacks
     # ------------------------------------------------------------------
     def server_updated(self, path: str) -> None:
         """Another client updated *path* on the server: break callback."""
-        if path in self._callbacks:
+        if path not in self._callbacks:
+            return
+        if self.connected:
             self._callbacks.discard(path)
-            if self.connected:
-                self._broken.add(path)
-            else:
-                # The break is discovered at reconnection (and may be a
-                # conflict if we also wrote the file).
-                self._broken.add(path)
+            self._broken.add(path)
+        else:
+            # The break message cannot reach a disconnected client: it
+            # still believes it holds the callback, and discovers the
+            # break (and any conflict) at reconnection.
+            self._pending_breaks.add(path)
 
     def has_callback(self, path: str) -> bool:
         return path in self._callbacks
@@ -78,20 +89,28 @@ class CodaReplication(ReplicationSystem):
         chosen: Set[str] = set()
         total = 0
         for path in ranked:
+            if self.faults is not None and self.faults.read_fails():
+                continue   # flaky server stat: candidate not evaluated
             node = self._server_node(path)
             if node is None:
                 continue
             if total + node.size <= self.cache_budget:
                 chosen.add(path)
                 total += node.size
-        self.set_hoard(chosen)
+        # Dirty survivors charge against the cache budget inside the
+        # fill, so the cache cannot silently exceed it.
+        self.set_hoard(chosen, budget=self.cache_budget)
         return chosen
 
-    def set_hoard(self, paths: Set[str]) -> Set[str]:
-        fetched = super().set_hoard(paths)
-        self._callbacks = set(fetched)
-        self._broken -= fetched   # refetch validates the cache
-        return fetched
+    def fill_hoard(self, paths: Set[str],
+                   budget: Optional[int] = None) -> HoardFill:
+        held_before = set(self._callbacks)
+        fill = super().fill_hoard(paths, budget=budget)
+        # A fetch (re)establishes the callback; retained dirty entries
+        # keep whatever callback status they already had.
+        self._callbacks = fill.fetched | (fill.retained & held_before)
+        self._broken -= fill.fetched   # refetch validates the cache
+        return fill
 
     # ------------------------------------------------------------------
     # access semantics
@@ -111,7 +130,12 @@ class CodaReplication(ReplicationSystem):
     def synchronize(self) -> List[ConflictRecord]:
         if not self.connected:
             raise RuntimeError("cannot synchronize while disconnected")
-        new_conflicts: List[ConflictRecord] = []
+        # Deferred callback breaks are discovered now: the server tells
+        # the reconnecting client which of its callbacks it dropped.
+        self._callbacks -= self._pending_breaks
+        self._broken |= self._pending_breaks
+        self._pending_breaks.clear()
+        new_conflicts: List[ConflictRecord] = self._drain_offline_updates()
         for path in sorted(self.hoarded):
             node = self._server_node(path)
             if node is None:

@@ -7,6 +7,15 @@ syncs with the server carries the update along.  This module runs a
 whole population of :class:`~repro.replication.rumor.RumorReplica`
 objects through configurable gossip topologies and provides the
 convergence checks the epidemic literature (and the tests) care about.
+
+The gossip plane is where network adversity bites first, so it accepts
+a :class:`~repro.faults.FaultInjector`: scheduled reconciliations can
+be *dropped* (the exchange never happens), *duplicated* (it happens
+twice -- anti-entropy is idempotent, and the tests prove it), or
+*delayed* (it completes a few rounds late).  Under faults,
+:meth:`RumorNetwork.gossip_until_converged` no longer raises when the
+round budget runs out; it degrades to a partial-convergence
+:class:`ConvergenceReport` naming the paths still in disagreement.
 """
 
 from __future__ import annotations
@@ -26,6 +35,27 @@ class GossipRound:
     index: int
     pairs: List[Tuple[str, str]] = field(default_factory=list)
     conflicts: List[ConflictRecord] = field(default_factory=list)
+    # Fault-injection outcomes (empty without an injector).
+    dropped: List[Tuple[str, str]] = field(default_factory=list)
+    duplicated: List[Tuple[str, str]] = field(default_factory=list)
+    delayed: List[Tuple[str, str]] = field(default_factory=list)
+
+
+@dataclass
+class ConvergenceReport:
+    """How far a gossip run got within its round budget.
+
+    ``converged`` distinguishes full convergence from the degraded
+    partial outcome a faulty network can end in; ``disagreeing_paths``
+    then names the files on which replicas still differ (missing
+    somewhere, different sizes, or concurrent version vectors).
+    """
+
+    converged: bool
+    rounds_used: int
+    max_rounds: int
+    disagreeing_paths: List[str] = field(default_factory=list)
+    pending_reconciliations: int = 0
 
 
 class RumorNetwork:
@@ -33,7 +63,7 @@ class RumorNetwork:
 
     def __init__(self, replica_ids: Sequence[str],
                  resolver: Optional[ConflictResolver] = None,
-                 seed: int = 0) -> None:
+                 seed: int = 0, faults=None) -> None:
         if len(replica_ids) < 2:
             raise ValueError("a network needs at least two replicas")
         if len(set(replica_ids)) != len(replica_ids):
@@ -43,6 +73,13 @@ class RumorNetwork:
         self._resolver = resolver
         self._rng = random.Random(seed)
         self.rounds: List[GossipRound] = []
+        self.faults = faults                 # Optional[FaultInjector]
+        # Delayed reconciliations: (due round index, first, second).
+        self._in_flight: List[Tuple[int, str, str]] = []
+
+    def inject_faults(self, injector) -> None:
+        """Attach a :class:`~repro.faults.FaultInjector` to the plane."""
+        self.faults = injector
 
     # ------------------------------------------------------------------
     # population operations
@@ -69,16 +106,50 @@ class RumorNetwork:
         return conflicts
 
     # ------------------------------------------------------------------
+    # fault-aware pair execution
+    # ------------------------------------------------------------------
+    def _deliver_due(self, round_record: GossipRound) -> None:
+        """Run delayed reconciliations whose round has arrived."""
+        due = [entry for entry in self._in_flight
+               if entry[0] <= round_record.index]
+        self._in_flight = [entry for entry in self._in_flight
+                           if entry[0] > round_record.index]
+        for _, first, second in due:
+            round_record.pairs.append((first, second))
+            round_record.conflicts += self.reconcile_pair(first, second)
+
+    def _execute_pair(self, first: str, second: str,
+                      round_record: GossipRound) -> None:
+        """One scheduled reconciliation, subject to injected faults."""
+        if self.faults is not None:
+            if self.faults.gossip_dropped():
+                round_record.dropped.append((first, second))
+                return
+            delay = self.faults.gossip_delay_rounds()
+            if delay:
+                round_record.delayed.append((first, second))
+                self._in_flight.append(
+                    (round_record.index + delay, first, second))
+                return
+        round_record.pairs.append((first, second))
+        round_record.conflicts += self.reconcile_pair(first, second)
+        if self.faults is not None and self.faults.gossip_duplicated():
+            # The exchange ran twice (a retransmit); reconciliation is
+            # idempotent, so only the bookkeeping notices.
+            round_record.duplicated.append((first, second))
+            round_record.conflicts += self.reconcile_pair(first, second)
+
+    # ------------------------------------------------------------------
     # topologies
     # ------------------------------------------------------------------
     def ring_round(self) -> GossipRound:
         """Each replica reconciles with its ring successor."""
         ids = list(self.replicas)
         round_record = GossipRound(index=len(self.rounds))
+        self._deliver_due(round_record)
         for position, rid in enumerate(ids):
             peer = ids[(position + 1) % len(ids)]
-            round_record.pairs.append((rid, peer))
-            round_record.conflicts += self.reconcile_pair(rid, peer)
+            self._execute_pair(rid, peer, round_record)
         self.rounds.append(round_record)
         return round_record
 
@@ -86,28 +157,45 @@ class RumorNetwork:
         """Each replica reconciles with one random peer."""
         ids = list(self.replicas)
         round_record = GossipRound(index=len(self.rounds))
+        self._deliver_due(round_record)
         for rid in ids:
             peer = self._rng.choice([other for other in ids if other != rid])
-            round_record.pairs.append((rid, peer))
-            round_record.conflicts += self.reconcile_pair(rid, peer)
+            self._execute_pair(rid, peer, round_record)
         self.rounds.append(round_record)
         return round_record
 
     def gossip_until_converged(self, topology: str = "random",
-                               max_rounds: int = 50) -> int:
-        """Run rounds until convergence; returns the rounds used."""
+                               max_rounds: int = 50) -> ConvergenceReport:
+        """Run rounds until convergence or the round budget runs out.
+
+        Returns a :class:`ConvergenceReport` either way: a faulty
+        network that fails to converge within *max_rounds* is a
+        measurement (how badly did it degrade?), not an error.
+        """
         step = self.ring_round if topology == "ring" else self.random_round
         for round_number in range(1, max_rounds + 1):
             step()
             if self.converged():
-                return round_number
-        raise RuntimeError(f"no convergence within {max_rounds} rounds")
+                return ConvergenceReport(
+                    converged=True, rounds_used=round_number,
+                    max_rounds=max_rounds,
+                    pending_reconciliations=len(self._in_flight))
+        return ConvergenceReport(
+            converged=False, rounds_used=max_rounds, max_rounds=max_rounds,
+            disagreeing_paths=self.disagreeing_paths(),
+            pending_reconciliations=len(self._in_flight))
 
     # ------------------------------------------------------------------
     # convergence checks
     # ------------------------------------------------------------------
     def converged(self) -> bool:
-        """All replicas hold the same files at comparable versions."""
+        """All replicas hold the same files at comparable versions.
+
+        "Comparable" means not concurrent: a strictly dominating vector
+        pair with equal sizes still counts as converged -- the lagging
+        replica holds the same bytes and a later reconciliation merely
+        fast-forwards its vector.
+        """
         replicas = list(self.replicas.values())
         reference = replicas[0]
         for other in replicas[1:]:
@@ -120,6 +208,27 @@ class RumorNetwork:
                 if mine.vector.concurrent_with(theirs.vector):
                     return False
         return True
+
+    def disagreeing_paths(self) -> List[str]:
+        """Paths on which the population has not converged."""
+        replicas = list(self.replicas.values())
+        all_paths = set()
+        for replica in replicas:
+            all_paths |= replica.paths()
+        disagreeing = []
+        for path in sorted(all_paths):
+            copies = [replica.files[path] for replica in replicas
+                      if path in replica.files]
+            if len(copies) < len(replicas):
+                disagreeing.append(path)
+                continue
+            reference = copies[0]
+            for copy in copies[1:]:
+                if copy.size != reference.size or \
+                        copy.vector.concurrent_with(reference.vector):
+                    disagreeing.append(path)
+                    break
+        return disagreeing
 
     def file_sizes(self, path: str) -> Dict[str, int]:
         """The size each replica currently holds for *path*."""

@@ -90,7 +90,7 @@ class LittleWork(ReplicationSystem):
     def synchronize(self) -> List[ConflictRecord]:
         if not self.connected:
             raise RuntimeError("cannot replay while disconnected")
-        new_conflicts: List[ConflictRecord] = []
+        new_conflicts: List[ConflictRecord] = self._drain_offline_updates()
         for entry in self.log:
             self.replayed += 1
             node = self._server_node(entry.path)

@@ -15,7 +15,7 @@ from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional, Set, Tuple
 
 from repro.fs import FileSystem
-from repro.replication.base import ConflictRecord, ReplicationSystem
+from repro.replication.base import ConflictRecord, HoardFill, ReplicationSystem
 
 
 class VersionVector:
@@ -94,7 +94,11 @@ class RumorReplica:
         RUMOR reconciliation is one-directional per pass (pull); a full
         sync is a pull in each direction.  Conflicts (concurrent
         vectors) are resolved by *resolver*, which names the winning
-        replica; the default keeps the larger copy ("no lost work").
+        side -- either a replica id or the sentinels ``"local"`` /
+        ``"peer"``; the default keeps the larger copy ("no lost work").
+        Because the default is a pure function of the two copies, every
+        replica resolves a given pair the same way and gossip converges
+        to one state regardless of reconciliation order.
         """
         conflicts: List[ConflictRecord] = []
         for path in sorted(other.paths()):
@@ -111,14 +115,17 @@ class RumorReplica:
                 pass  # we are newer; the other side pulls later
             else:
                 winner = (resolver or _keep_larger)(path, mine, theirs)
+                peer_wins = winner in ("peer", other.replica_id)
                 merged = mine.vector.merge(theirs.vector)
                 merged.bump(self.replica_id)   # the resolution is an update
-                if winner == other.replica_id:
+                if peer_wins:
                     mine.size = theirs.size
                 mine.vector = merged
                 conflicts.append(ConflictRecord(
-                    path=path, winner=winner,
-                    loser=self.replica_id if winner == other.replica_id
+                    path=path,
+                    winner=other.replica_id if peer_wins
+                    else self.replica_id,
+                    loser=self.replica_id if peer_wins
                     else other.replica_id,
                     detail="concurrent update"))
         return conflicts
@@ -142,9 +149,10 @@ class Rumor(ReplicationSystem):
         self.server_replica = RumorReplica("server")
         self._resolver = resolver
 
-    def set_hoard(self, paths: Set[str]) -> Set[str]:
-        fetched = super().set_hoard(paths)
-        for path in fetched:
+    def fill_hoard(self, paths: Set[str],
+                   budget: Optional[int] = None) -> HoardFill:
+        fill = super().fill_hoard(paths, budget=budget)
+        for path in sorted(fill.fetched):
             if path not in self.laptop.files:
                 node = self._server_node(path)
                 vector = VersionVector({"server": node.version if node else 0})
@@ -152,7 +160,7 @@ class Rumor(ReplicationSystem):
         for path in list(self.laptop.paths()):
             if path not in self.hoarded:
                 del self.laptop.files[path]
-        return fetched
+        return fill
 
     def local_update(self, path: str, size: Optional[int] = None) -> bool:
         if not super().local_update(path, size):
@@ -163,6 +171,7 @@ class Rumor(ReplicationSystem):
     def synchronize(self) -> List[ConflictRecord]:
         if not self.connected:
             raise RuntimeError("cannot reconcile while disconnected")
+        offline = self._drain_offline_updates()
         # Refresh the server replica's metadata from the backing fs.
         for path in sorted(self.hoarded):
             node = self._server_node(path)
@@ -186,6 +195,6 @@ class Rumor(ReplicationSystem):
                 self.local_sizes[path] = self.laptop.files[path].size \
                     if path in self.laptop.files else node.size
         self.dirty.clear()
-        new_conflicts = pull + push
+        new_conflicts = offline + pull + push
         self.conflicts.extend(new_conflicts)
         return new_conflicts

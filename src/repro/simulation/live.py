@@ -17,17 +17,29 @@ misses.  Misses are recorded the way the deployment recorded them:
 Time to first miss is measured in *active* hours: suspension time is
 discarded (section 5.1.1), and disconnections and reconnections
 shorter than 15 minutes are squashed first.
+
+With a fault profile (docs/fault-injection.md) the replay leaves the
+happy path: the hoard fill before a disconnection can be interrupted
+partway -- the user walks away before the fill completes, so the
+laptop leaves with an incomplete hoard -- individual fills can lose
+files to flaky server reads, and reconnection synchronization is
+retried under the bounded-attempts backoff policy.  All injected
+faults are counted in the seer's metrics (``faults.*``), so they show
+up under the CLI's ``--metrics``.  With no profile (or the inert
+``none`` profile) the replay is byte-identical to a fault-free build.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Set, Tuple
+from typing import Dict, List, Optional, Set, Tuple, Union
 
 from repro.core.hoard import MissSeverity
 from repro.core.parameters import SeerParameters
 from repro.core.seer import Seer
+from repro.faults import FaultInjector, FaultProfile, profile_from_name
 from repro.fs.paths import dirname
+from repro.replication.base import RetryPolicy
 from repro.simulation.missfree import (
     _is_relevant_reference,
     build_investigators,
@@ -82,6 +94,9 @@ class DisconnectionOutcome:
     hoard_bytes: int
     manual_misses: List[RecordedMiss] = field(default_factory=list)
     automatic_misses: List[RecordedMiss] = field(default_factory=list)
+    #: The hoard fill before this disconnection was cut short by an
+    #: injected surprise disconnection (always False without faults).
+    fill_interrupted: bool = False
 
     @property
     def failed(self) -> bool:
@@ -162,12 +177,60 @@ def _active_hours_in(period: Period, schedule: Schedule, when: float) -> float:
     return max(0.0, (when - period.start - suspended)) / HOUR
 
 
+def _faulted_fill(injector: FaultInjector, selection,
+                  sizes) -> Tuple[Set[str], int, bool]:
+    """Apply fill faults to a hoard selection.
+
+    Returns (files actually hoarded, their bytes, interrupted?).  The
+    fill transfers files in sorted order; a surprise disconnection cuts
+    it at an injector-chosen point ("the user walks away", paper
+    section 5.2.2) and a flaky read silently loses one file.  With no
+    fault fired the original selection passes through untouched.
+    """
+    ordered = sorted(selection.files)
+    cut = injector.fill_interruption(len(ordered))
+    kept: Set[str] = set()
+    interrupted = False
+    for index, path in enumerate(ordered):
+        if cut is not None and index >= cut:
+            interrupted = True
+            injector.note_partial_fill(
+                sum(sizes(missing) for missing in ordered[index:]))
+            break
+        if injector.read_fails():
+            continue
+        kept.add(path)
+    if kept == selection.files:
+        return selection.files, selection.total_bytes, False
+    return kept, sum(sizes(path) for path in kept), interrupted
+
+
+def _reconnect_sync_attempts(injector: FaultInjector,
+                             policy: RetryPolicy) -> None:
+    """Drive reintegration attempts through the retry/backoff policy."""
+    for attempt in range(1, policy.max_attempts + 1):
+        if not injector.sync_attempt_fails():
+            return
+        if attempt >= policy.max_attempts:
+            injector.note_sync_gave_up()
+            return
+        injector.note_retry(policy.backoff_for(attempt))
+
+
 def simulate_live_usage(trace: GeneratedTrace,
                         parameters: Optional[SeerParameters] = None,
                         hoard_budget: Optional[int] = None,
                         use_investigators: bool = False,
-                        size_seed: int = 0) -> LiveResult:
-    """Run the live deployment measurement for one machine."""
+                        size_seed: int = 0,
+                        fault_profile: Union[FaultProfile, str, None] = None,
+                        fault_seed: int = 0) -> LiveResult:
+    """Run the live deployment measurement for one machine.
+
+    *fault_profile* (a :class:`~repro.faults.FaultProfile` or its
+    name) turns on deterministic fault injection seeded by
+    *fault_seed*; ``None`` and the inert ``none`` profile reproduce
+    the fault-free replay exactly.
+    """
     if parameters is None:
         from repro.simulation import SIM_PARAMETERS
         parameters = SIM_PARAMETERS
@@ -179,6 +242,15 @@ def simulate_live_usage(trace: GeneratedTrace,
     seer = Seer(kernel=trace.kernel, parameters=parameters,
                 control=simulation_control(),
                 investigators=investigators, attach=False)
+
+    if isinstance(fault_profile, str):
+        fault_profile = profile_from_name(fault_profile)
+    injector: Optional[FaultInjector] = None
+    retry_policy = RetryPolicy()
+    if fault_profile is not None and not fault_profile.inert:
+        injector = FaultInjector(fault_profile, seed=fault_seed,
+                                 metrics=seer.metrics)
+        retry_policy = RetryPolicy.from_profile(fault_profile)
 
     schedule = squash_brief_periods(
         trace.schedule, minimum_seconds=parameters.minimum_disconnection_seconds)
@@ -198,11 +270,18 @@ def simulate_live_usage(trace: GeneratedTrace,
 
         # Disconnection imminent: recompute the hoard (section 2).
         selection = seer.build_hoard(budget, sizes=sizes)
+        hoard_files: Set[str] = selection.files
+        hoard_bytes = selection.total_bytes
+        fill_interrupted = False
+        if injector is not None:
+            hoard_files, hoard_bytes, fill_interrupted = \
+                _faulted_fill(injector, selection, sizes)
         seer.disconnect()
         outcome = DisconnectionOutcome(
             period=period,
             active_hours=trace.schedule.active_disconnected_time(period) / HOUR,
-            hoard_bytes=selection.total_bytes)
+            hoard_bytes=hoard_bytes,
+            fill_interrupted=fill_interrupted)
         created_locally: Set[str] = set()
         missed_projects: Set[str] = set()
         missed_files: Set[str] = set()
@@ -219,7 +298,7 @@ def simulate_live_usage(trace: GeneratedTrace,
             if not _is_relevant_reference(record, trace):
                 continue
             path = record.path
-            if path in selection.files or path in created_locally or \
+            if path in hoard_files or path in created_locally or \
                     path in missed_files:
                 continue
             if path not in known_before:
@@ -242,6 +321,14 @@ def simulate_live_usage(trace: GeneratedTrace,
                     severity=severity, automatic=False))
                 seer.miss_log.record_manual(path, record.time, severity)
         seer.reconnect()
+        if injector is not None:
+            _reconnect_sync_attempts(injector, retry_policy)
         result.outcomes.append(outcome)
+    # Records stamped after the final schedule period still belong to
+    # the trace: feed them to the observer so end-of-trace correlator
+    # state and ingest metrics do not undercount.
+    while record_index < len(records):
+        seer.observer.handle_record(records[record_index])
+        record_index += 1
     result.metrics = seer.metrics.snapshot()
     return result

@@ -75,10 +75,20 @@ class ShardSpec:
     use_investigators: bool = False
     size_seed: int = 0
     parameter_overrides: Tuple[Tuple[str, object], ...] = ()
+    # Fault injection (live cells only): the *name* of a
+    # repro.faults.FaultProfile plus the injector seed, so the config
+    # survives serde/checkpointing and a worker can rebuild it.
+    fault_profile: Optional[str] = None
+    fault_seed: int = 0
 
     def __post_init__(self) -> None:
         if self.kind not in ("missfree", "live", "objective"):
             raise ValueError(f"unknown shard kind: {self.kind!r}")
+        if self.fault_profile is not None:
+            if self.kind != "live":
+                raise ValueError("fault profiles apply to live cells only")
+            from repro.faults import profile_from_name
+            profile_from_name(self.fault_profile)   # validate eagerly
 
     @property
     def shard_id(self) -> str:
@@ -91,6 +101,9 @@ class ShardSpec:
             parts.append("inv")
         if self.size_seed:
             parts.append(f"z{self.size_seed}")
+        if self.fault_profile is not None:
+            parts.append(f"f{self.fault_profile}")
+            parts.append(f"fs{self.fault_seed}")
         if self.parameter_overrides:
             blob = json.dumps([[n, v] for n, v in self.parameter_overrides],
                               sort_keys=True).encode("utf-8")
@@ -142,9 +155,13 @@ def figure2_grid(machines: Sequence[str], days: float, seed: int,
 
 def reproduction_grid(machines: Sequence[str], days: float, seed: int,
                       include_live: bool = True,
-                      include_investigators: bool = True) -> List[ShardSpec]:
+                      include_investigators: bool = True,
+                      fault_profile: Optional[str] = None,
+                      fault_seed: int = 0) -> List[ShardSpec]:
     """The full-study grid behind ``run_reproduction`` (Figures 2-3 and
-    Tables 3-5), in the same order the serial loop produced."""
+    Tables 3-5), in the same order the serial loop produced.  A
+    *fault_profile* name applies fault injection to the live cells
+    (the miss-free cells replay no disconnections to fault)."""
     from repro.workload import machine_profile
     shards: List[ShardSpec] = []
     for machine in machines:
@@ -158,7 +175,9 @@ def reproduction_grid(machines: Sequence[str], days: float, seed: int,
                                         window_seconds=window,
                                         use_investigators=True))
         if include_live:
-            shards.append(ShardSpec("live", machine, seed, days))
+            shards.append(ShardSpec("live", machine, seed, days,
+                                    fault_profile=fault_profile,
+                                    fault_seed=fault_seed))
     return shards
 
 
@@ -198,7 +217,9 @@ def execute_shard(spec: ShardSpec) -> ShardResult:
         from repro.simulation.live import simulate_live_usage
         return simulate_live_usage(trace, parameters=parameters,
                                    use_investigators=spec.use_investigators,
-                                   size_seed=spec.size_seed)
+                                   size_seed=spec.size_seed,
+                                   fault_profile=spec.fault_profile,
+                                   fault_seed=spec.fault_seed)
     # "objective": the tuning score for this (parameters, machine) cell.
     from repro.tuning.objective import hoard_overhead_objective
     return hoard_overhead_objective(trace, parameters,

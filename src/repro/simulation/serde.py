@@ -114,6 +114,7 @@ def _outcome_to_data(outcome: DisconnectionOutcome) -> Dict:
         "manual_misses": [_miss_to_data(m) for m in outcome.manual_misses],
         "automatic_misses": [_miss_to_data(m)
                              for m in outcome.automatic_misses],
+        "fill_interrupted": outcome.fill_interrupted,
     }
 
 
@@ -124,7 +125,8 @@ def _outcome_from_data(data: Dict) -> DisconnectionOutcome:
         hoard_bytes=data["hoard_bytes"],
         manual_misses=[_miss_from_data(m) for m in data["manual_misses"]],
         automatic_misses=[_miss_from_data(m)
-                          for m in data["automatic_misses"]])
+                          for m in data["automatic_misses"]],
+        fill_interrupted=data.get("fill_interrupted", False))
 
 
 def live_to_data(result: LiveResult) -> Dict:

@@ -104,3 +104,30 @@ class TestCommands:
         rows = _json.load(open(json_path))
         assert any(row.get("machine") == "E" for row in rows)
         assert "machine" in open(csv_path).readline()
+
+
+class TestFaultFlags:
+    def test_live_with_fault_profile(self, capsys):
+        assert main(["live", "E", "--days", "10", "--fault-profile", "flaky",
+                     "--fault-seed", "2", "--metrics"]) == 0
+        captured = capsys.readouterr()
+        assert "Table 3" in captured.out
+        assert "fault profile 'flaky', fault seed 2" in captured.err
+        assert "faults.injected_total" in captured.err
+
+    def test_none_profile_output_identical_to_no_flag(self, capsys):
+        assert main(["live", "E", "--days", "10"]) == 0
+        plain = capsys.readouterr().out
+        assert main(["live", "E", "--days", "10",
+                     "--fault-profile", "none"]) == 0
+        assert capsys.readouterr().out == plain
+
+    def test_unknown_fault_profile_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["live", "E", "--fault-profile", "catastrophic"])
+
+    def test_report_accepts_fault_flags(self, capsys):
+        assert main(["report", "--machines", "E", "--days", "5",
+                     "--fault-profile", "lossy", "--fault-seed", "1"]) == 0
+        out = capsys.readouterr().out
+        assert "SEER reproduction report" in out

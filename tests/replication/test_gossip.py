@@ -32,9 +32,10 @@ class TestEpidemicSpread:
 
     def test_ring_converges(self, network):
         network.seed_file("/f", size=5, origin="laptop")
-        rounds = network.gossip_until_converged(topology="ring")
+        report = network.gossip_until_converged(topology="ring")
         assert network.converged()
-        assert rounds <= 3
+        assert report.converged
+        assert report.rounds_used <= 3
         assert set(network.file_sizes("/f").values()) == {5}
 
     def test_random_gossip_converges(self):
@@ -49,14 +50,15 @@ class TestEpidemicSpread:
         assert len(network.rounds) == 1
         assert len(network.rounds[0].pairs) == 3
 
-    def test_no_convergence_raises(self):
+    def test_no_convergence_degrades_to_partial_report(self):
         class NeverConverged(RumorNetwork):
             def converged(self):
                 return False
         network = NeverConverged(["a", "b"], seed=1)
         network.seed_file("/f")
-        with pytest.raises(RuntimeError):
-            network.gossip_until_converged(max_rounds=3)
+        report = network.gossip_until_converged(max_rounds=3)
+        assert not report.converged
+        assert report.rounds_used == report.max_rounds == 3
 
 
 class TestConflicts:

@@ -1,0 +1,181 @@
+"""Fault injection on the gossip plane, plus the convergence-predicate
+satellite tests (strictly-dominating vectors) and the property that a
+faulty network reaches the same final state as a fault-free one once
+the faults stop."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.faults import LOSSY, NO_FAULTS, FaultInjector, FaultProfile
+from repro.replication.gossip import ConvergenceReport, RumorNetwork
+
+
+def _injector(**probabilities):
+    return FaultInjector(FaultProfile(name="test", **probabilities), seed=1)
+
+
+class TestGossipFaultBookkeeping:
+    def test_dropped_pairs_recorded_and_skipped(self):
+        network = RumorNetwork(["a", "b", "c"], seed=1,
+                               faults=_injector(gossip_drop_probability=1.0))
+        network.seed_file("/f", size=5, origin="a")
+        round_record = network.ring_round()
+        assert len(round_record.dropped) == 3
+        assert round_record.pairs == []
+        # Nothing spread: b and c never heard of the file.
+        assert "/f" not in network.replicas["b"].paths()
+        assert "/f" not in network.replicas["c"].paths()
+
+    def test_duplicated_reconciliation_is_idempotent(self):
+        faulty = RumorNetwork(
+            ["a", "b", "c"], seed=1,
+            faults=_injector(gossip_duplicate_probability=1.0))
+        clean = RumorNetwork(["a", "b", "c"], seed=1)
+        for network in (faulty, clean):
+            network.seed_file("/f", size=5, origin="a")
+            network.update("b", "/f", size=9)   # concurrent contender
+            report = network.gossip_until_converged(topology="ring")
+            assert report.converged
+        assert len(faulty.rounds[0].duplicated) == \
+            len(faulty.rounds[0].pairs) > 0
+        for path in ("/f",):
+            assert faulty.file_sizes(path) == clean.file_sizes(path)
+
+    def test_delayed_reconciliation_arrives_later(self):
+        injector = _injector(gossip_delay_probability=1.0,
+                             gossip_max_delay_rounds=1)
+        network = RumorNetwork(["a", "b"], seed=1)
+        network.inject_faults(injector)
+        network.seed_file("/f", size=5, origin="a")
+        first = network.ring_round()
+        assert len(first.delayed) == 2
+        assert first.pairs == []
+        assert "/f" not in network.replicas["b"].paths()
+        # The delayed exchanges are due next round and run before (and
+        # in addition to) that round's own schedule.
+        network.faults = None
+        second = network.ring_round()
+        assert ("a", "b") in second.pairs
+        assert network.replicas["b"].files["/f"].size == 5
+
+    def test_injector_counters(self):
+        injector = _injector(gossip_drop_probability=1.0)
+        network = RumorNetwork(["a", "b"], seed=1, faults=injector)
+        network.seed_file("/f")
+        network.ring_round()
+        snapshot = injector.metrics.snapshot()
+        assert snapshot["faults.gossip_dropped"] == 2
+        assert snapshot["faults.injected_total"] == 2
+
+    def test_inert_injector_identical_to_none(self):
+        plain = RumorNetwork(["a", "b", "c"], seed=7)
+        inert = RumorNetwork(["a", "b", "c"], seed=7,
+                             faults=FaultInjector(NO_FAULTS))
+        for network in (plain, inert):
+            network.seed_file("/f", size=5, origin="a")
+            network.update("b", "/f", size=9)
+        plain_report = plain.gossip_until_converged(topology="random")
+        inert_report = inert.gossip_until_converged(topology="random")
+        assert plain_report.rounds_used == inert_report.rounds_used
+        assert [r.pairs for r in plain.rounds] == \
+            [r.pairs for r in inert.rounds]
+        assert plain.file_sizes("/f") == inert.file_sizes("/f")
+
+
+class TestPartialConvergence:
+    def test_fully_dropped_network_degrades_to_report(self):
+        network = RumorNetwork(["a", "b"], seed=1,
+                               faults=_injector(gossip_drop_probability=1.0))
+        network.seed_file("/f", size=5, origin="a")
+        report = network.gossip_until_converged(max_rounds=4)
+        assert isinstance(report, ConvergenceReport)
+        assert not report.converged
+        assert report.rounds_used == report.max_rounds == 4
+        assert report.disagreeing_paths == ["/f"]
+
+    def test_pending_reconciliations_reported(self):
+        network = RumorNetwork(
+            ["a", "b"], seed=1,
+            faults=_injector(gossip_delay_probability=1.0,
+                             gossip_max_delay_rounds=5))
+        network.seed_file("/f", size=5, origin="a")
+        report = network.gossip_until_converged(max_rounds=1)
+        assert not report.converged
+        assert report.pending_reconciliations > 0
+
+
+class TestConvergedPredicate:
+    """Satellite: strictly-dominating vector pairs with equal sizes
+    count as converged -- only concurrency and size divergence don't."""
+
+    def test_strictly_dominating_same_size_is_converged(self):
+        network = RumorNetwork(["a", "b"], seed=1)
+        network.seed_file("/f", size=5, origin="a")
+        network.reconcile_pair("a", "b")
+        assert network.converged()
+        # a updates /f without changing its size: a's vector now
+        # strictly dominates b's, but both hold the same bytes.
+        network.replicas["a"].update("/f")
+        a_vec = network.replicas["a"].files["/f"].vector
+        b_vec = network.replicas["b"].files["/f"].vector
+        assert a_vec.dominates(b_vec) and not b_vec.dominates(a_vec)
+        assert network.converged()
+        assert network.disagreeing_paths() == []
+
+    def test_dominating_with_different_size_not_converged(self):
+        network = RumorNetwork(["a", "b"], seed=1)
+        network.seed_file("/f", size=5, origin="a")
+        network.reconcile_pair("a", "b")
+        network.update("a", "/f", size=6)
+        assert not network.converged()
+        assert network.disagreeing_paths() == ["/f"]
+
+    def test_concurrent_vectors_not_converged(self):
+        network = RumorNetwork(["a", "b"], seed=1)
+        network.seed_file("/f", size=5, origin="a")
+        network.reconcile_pair("a", "b")
+        network.update("a", "/f", size=7)
+        network.update("b", "/f", size=7)   # same size, still concurrent
+        assert not network.converged()
+        assert network.disagreeing_paths() == ["/f"]
+
+    def test_missing_path_not_converged(self):
+        network = RumorNetwork(["a", "b"], seed=1)
+        network.seed_file("/f", size=5, origin="a")
+        assert not network.converged()
+        assert network.disagreeing_paths() == ["/f"]
+
+
+@settings(max_examples=30, deadline=None)
+@given(updates=st.lists(
+           st.tuples(st.integers(min_value=0, max_value=3),
+                     st.sampled_from(["/x", "/y", "/z"]),
+                     st.integers(min_value=1, max_value=99)),
+           max_size=12),
+       fault_seed=st.integers(min_value=0, max_value=10**6),
+       faulty_rounds=st.integers(min_value=0, max_value=6))
+def test_faulty_gossip_reaches_the_fault_free_state(updates, fault_seed,
+                                                    faulty_rounds):
+    """Drops, duplicates and delays (any seed) only slow gossip down:
+    once the faults stop, the network converges to exactly the state a
+    fault-free network reaches from the same updates."""
+    ids = [f"r{i}" for i in range(4)]
+
+    def build(faults):
+        network = RumorNetwork(ids, seed=5, faults=faults)
+        network.seed_file("/x", size=1, origin="r0")
+        for replica_index, path, size in updates:
+            network.update(ids[replica_index], path, size)
+        return network
+
+    clean = build(None)
+    assert clean.gossip_until_converged(topology="ring").converged
+
+    faulty = build(FaultInjector(LOSSY, seed=fault_seed))
+    for _ in range(faulty_rounds):
+        faulty.ring_round()
+    faulty.faults = None                       # the network heals
+    report = faulty.gossip_until_converged(topology="ring")
+    assert report.converged
+    for path in {"/x"} | {path for _, path, _ in updates}:
+        assert faulty.file_sizes(path) == clean.file_sizes(path)

@@ -195,6 +195,22 @@ class TestRumorReconciliation:
         # Default resolver keeps the larger copy.
         assert target.files["/f"].size == 30
 
+    def test_default_resolver_adopts_larger_peer_copy(self):
+        # Regression: the "peer" sentinel used to be compared against
+        # the replica id, so the local (smaller) copy always won and
+        # the resolved state depended on who reconciled first.
+        source = RumorReplica("s")
+        source.store("/f", size=10)
+        target = RumorReplica("t")
+        target.reconcile_from(source)
+        source.update("/f", size=40)
+        target.update("/f", size=20)
+        conflicts = target.reconcile_from(source)
+        assert len(conflicts) == 1
+        assert conflicts[0].winner == "s"
+        assert conflicts[0].loser == "t"
+        assert target.files["/f"].size == 40
+
     def test_resolution_converges(self):
         source = RumorReplica("s")
         source.store("/f", size=10)
