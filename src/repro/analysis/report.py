@@ -121,7 +121,7 @@ def run_reproduction(machines: Sequence[str] = ("C", "D", "F"),
     """
     from repro.simulation.runner import reproduction_grid, run_shards
     report = ReproductionReport(machines=list(machines), days=days, seed=seed)
-    start = time.time()
+    start = time.perf_counter()
     shards = reproduction_grid(machines, days, seed,
                                include_live=include_live,
                                include_investigators=include_investigators,
@@ -134,5 +134,5 @@ def run_reproduction(machines: Sequence[str] = ("C", "D", "F"),
             report.missfree.append(outcome.result)
         elif outcome.spec.kind == "live":
             report.live.append(outcome.result)
-    report.elapsed_seconds = time.time() - start
+    report.elapsed_seconds = time.perf_counter() - start
     return report

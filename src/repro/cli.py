@@ -42,6 +42,7 @@ from repro.analysis import (
     render_table4,
     render_table5,
 )
+from repro.observability import sort_metric_names
 from repro.simulation import SIM_PARAMETERS
 from repro.simulation.live import simulate_live_usage
 from repro.simulation.missfree import simulate_miss_free
@@ -108,7 +109,9 @@ def _print_metrics(metrics, stream=None) -> None:
         print("(no ingestion metrics collected)", file=stream)
         return
     print("ingestion metrics:", file=stream)
-    for name in sorted(metrics):
+    # Registry-canonical order (unregistered names last): related
+    # counters stay grouped and snapshots diff cleanly across runs.
+    for name in sort_metric_names(list(metrics)):
         value = metrics[name]
         if isinstance(value, float) and not value.is_integer():
             rendered = f"{value:,.3f}"

@@ -69,7 +69,8 @@ class HoardSelection:
 ACTIVITY_DEPTH = 3
 
 
-def cluster_activity(members, recency: Mapping[str, float]) -> float:
+def cluster_activity(members: Iterable[str],
+                     recency: Mapping[str, float]) -> float:
     """How recently a project was *actively* used.
 
     A project is active when several of its members are recent, not

@@ -78,7 +78,7 @@ class SeerParameters:
             raise ValueError(f"kn_fraction ({self.kn_fraction}) must exceed "
                              f"kf_fraction ({self.kf_fraction})")
 
-    def with_changes(self, **changes) -> "SeerParameters":
+    def with_changes(self, **changes: object) -> "SeerParameters":
         """Return a copy with *changes* applied (for parameter sweeps)."""
         return replace(self, **changes)
 

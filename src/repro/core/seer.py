@@ -9,15 +9,21 @@ computes clusters and fills the hoard through a replication substrate.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Optional, Sequence, Set
+from typing import TYPE_CHECKING, Callable, Dict, List, Optional, Sequence, Set
 
 from repro.core.clustering import ClusterSet, Relation
-from repro.core.correlator import Correlator
+from repro.core.correlator import Correlator, ObservedReference
 from repro.core.hoard import HoardManager, HoardSelection, MissLog, MissSeverity
 from repro.core.parameters import DEFAULT_PARAMETERS, SeerParameters
 from repro.observer.control_file import ControlConfig
 from repro.observer.filters import MeaninglessStrategy
 from repro.observer.observer import Observer
+
+if TYPE_CHECKING:   # heavy/cyclic imports used only in annotations
+    from repro.investigators.base import Investigator
+    from repro.kernel.syscalls import Kernel
+    from repro.observability import Metrics
+    from repro.replication.base import ReplicationSystem
 
 SizeFunction = Callable[[str], int]
 
@@ -36,10 +42,10 @@ class Seer:
         cluster time and contributes :class:`Relation` groups.
     """
 
-    def __init__(self, kernel=None,
+    def __init__(self, kernel: Optional["Kernel"] = None,
                  parameters: SeerParameters = DEFAULT_PARAMETERS,
                  control: Optional[ControlConfig] = None,
-                 investigators: Sequence = (),
+                 investigators: Sequence["Investigator"] = (),
                  strategy: MeaninglessStrategy = MeaninglessStrategy.THRESHOLD,
                  seed: int = 0, attach: bool = True) -> None:
         self.parameters = parameters
@@ -69,7 +75,7 @@ class Seer:
     # ------------------------------------------------------------------
     # reference handling and periodic refill (section 2)
     # ------------------------------------------------------------------
-    def _handle_reference(self, reference) -> None:
+    def _handle_reference(self, reference: ObservedReference) -> None:
         self.correlator.handle(reference)
         if self._refill_interval is None or self._disconnected:
             return
@@ -126,7 +132,7 @@ class Seer:
     # observability
     # ------------------------------------------------------------------
     @property
-    def metrics(self):
+    def metrics(self) -> "Metrics":
         """The shared :class:`repro.observability.Metrics` of the
         ingestion pipeline (references/sec, prune and eviction counts,
         cluster-build latency)."""
@@ -191,7 +197,8 @@ class Seer:
         self.current_hoard = selection
         return selection
 
-    def fill_replica(self, replication, budget: int) -> HoardSelection:
+    def fill_replica(self, replication: "ReplicationSystem",
+                     budget: int) -> HoardSelection:
         """Build a hoard and hand it to a replication substrate."""
         selection = self.build_hoard(budget)
         replication.set_hoard(selection.files)

@@ -1,0 +1,36 @@
+"""``repro.lint`` -- the determinism & invariant analyzer.
+
+Run it with ``python -m repro.lint src/``.  See
+``docs/static-analysis.md`` for the rule catalogue, the suppression and
+baseline workflow, and the motivating incidents.
+"""
+
+from repro.lint.engine import (
+    Baseline,
+    Finding,
+    LintConfig,
+    LintResult,
+    ModuleInfo,
+    collect_files,
+    load_module,
+    render_json,
+    render_text,
+    run_lint,
+)
+from repro.lint.project import PROJECT_RULES
+from repro.lint.rules import FILE_RULES
+
+__all__ = [
+    "Baseline",
+    "Finding",
+    "LintConfig",
+    "LintResult",
+    "ModuleInfo",
+    "FILE_RULES",
+    "PROJECT_RULES",
+    "collect_files",
+    "load_module",
+    "render_json",
+    "render_text",
+    "run_lint",
+]

@@ -1,0 +1,104 @@
+"""Command line for the analyzer: ``python -m repro.lint [paths]``.
+
+Exit status: 0 when no new finding (baselined and suppressed findings
+do not fail the run), 1 when new findings exist, 2 on usage errors.
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import sys
+from typing import List, Optional, Sequence
+
+from repro.lint.engine import (
+    Baseline,
+    LintConfig,
+    render_json,
+    render_text,
+    run_lint,
+)
+from repro.lint.project import PROJECT_RULES
+from repro.lint.rules import FILE_RULES
+
+DEFAULT_BASELINE = "lint-baseline.json"
+
+
+def _list_rules() -> str:
+    lines = ["repro.lint rules:"]
+    for rule in list(FILE_RULES) + list(PROJECT_RULES):
+        lines.append(f"  {rule.id}  {rule.name}")
+        lines.append(f"         {rule.description}")
+    return "\n".join(lines)
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.lint",
+        description="AST-based determinism & invariant analyzer "
+                    "(see docs/static-analysis.md)")
+    parser.add_argument("paths", nargs="*", default=["src"],
+                        help="files or directories to analyze "
+                             "(default: src)")
+    parser.add_argument("--format", choices=("text", "json"),
+                        default="text", help="output format")
+    parser.add_argument("--baseline", default=None,
+                        help=f"baseline file (default: "
+                             f"./{DEFAULT_BASELINE} when present)")
+    parser.add_argument("--no-baseline", action="store_true",
+                        help="ignore any baseline file")
+    parser.add_argument("--update-baseline", action="store_true",
+                        help="rewrite the baseline from current findings "
+                             "and exit 0")
+    parser.add_argument("--select", default=None,
+                        help="comma-separated rule ids to run "
+                             "(default: all)")
+    parser.add_argument("--list-rules", action="store_true",
+                        help="print the rule catalogue and exit")
+    parser.add_argument("--verbose", action="store_true",
+                        help="also print baselined and suppressed "
+                             "findings")
+    args = parser.parse_args(argv)
+
+    if args.list_rules:
+        print(_list_rules())
+        return 0
+
+    baseline_path = args.baseline or DEFAULT_BASELINE
+    baseline = Baseline()
+    if not args.no_baseline and not args.update_baseline:
+        try:
+            baseline = Baseline.load(baseline_path)
+        except ValueError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
+
+    select = None
+    if args.select:
+        select = [token.strip() for token in args.select.split(",")
+                  if token.strip()]
+
+    missing = [path for path in args.paths if not os.path.exists(path)]
+    if missing:
+        print(f"error: no such path: {', '.join(missing)}",
+              file=sys.stderr)
+        return 2
+
+    result = run_lint(args.paths, config=LintConfig(), baseline=baseline,
+                      select=select)
+
+    if args.update_baseline:
+        Baseline.from_findings(result.findings).save(baseline_path)
+        print(f"baseline written: {baseline_path} "
+              f"({len(result.findings)} findings grandfathered)")
+        return 0
+
+    if args.format == "json":
+        print(render_json(result))
+    else:
+        print(render_text(result, verbose=args.verbose))
+    return 0 if result.ok else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

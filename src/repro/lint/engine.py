@@ -1,0 +1,386 @@
+"""The analyzer engine: file collection, suppressions, baseline, output.
+
+``repro.lint`` is a purpose-built static analyzer for *this* codebase.
+Generic linters check style; this one checks the two properties every
+PR since the parallel runner has depended on:
+
+* **bit-determinism** -- the same grid cell must produce the same bytes
+  in every process, on every host, at every pool size (rules
+  RL001-RL004);
+* **enumerable observability and lossless persistence** -- every metric
+  name is registered and every checkpointed dataclass round-trips
+  exactly (rules RL005-RL006), plus annotation completeness for the
+  strictly-typed core (RL007).
+
+The engine parses each file once into a :class:`ModuleInfo`, runs the
+per-file rules, then the whole-project rules, and finally applies
+suppression comments and the committed baseline.  Exit status is zero
+iff no *new* finding survives both filters.
+
+Suppressions
+------------
+``# repro-lint: disable=RL001`` (comma-separated ids, or ``all``) on a
+flagged line suppresses matching findings on that line; a comment line
+containing nothing else suppresses the following line instead.
+``# repro-lint: disable-file=RL004`` anywhere in a file suppresses the
+rule for the whole file.
+
+Baseline
+--------
+``lint-baseline.json`` maps finding fingerprints (file, rule and the
+normalized source line -- stable across unrelated edits, unlike line
+numbers) to occurrence counts.  Grandfathered findings are reported as
+``baselined`` and do not fail the run; ``--update-baseline`` rewrites
+the file from the current findings.  The shipped baseline is empty:
+every finding the analyzer knew about at introduction time was fixed,
+not grandfathered.
+"""
+
+from __future__ import annotations
+
+import ast
+import json
+import os
+import re
+from dataclasses import dataclass, field
+from typing import (Dict, FrozenSet, Iterable, Iterator, List, Optional,
+                    Sequence, Set, Tuple)
+
+__all__ = [
+    "Finding",
+    "LintConfig",
+    "ModuleInfo",
+    "Baseline",
+    "collect_files",
+    "load_module",
+    "run_lint",
+    "render_text",
+    "render_json",
+]
+
+_SUPPRESS_RE = re.compile(
+    r"#\s*repro-lint:\s*disable=([A-Za-z0-9_*,\s]+?)\s*(?:#|$)")
+_SUPPRESS_FILE_RE = re.compile(
+    r"#\s*repro-lint:\s*disable-file=([A-Za-z0-9_*,\s]+?)\s*(?:#|$)")
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One rule violation at one source location."""
+
+    rule: str
+    path: str          # repo-relative, forward slashes
+    line: int          # 1-based
+    col: int           # 0-based, as reported by ast
+    message: str
+    snippet: str = ""  # the offending source line, stripped
+
+    @property
+    def fingerprint(self) -> str:
+        """Identity that survives unrelated edits (no line number)."""
+        return f"{self.path}::{self.rule}::{self.snippet}"
+
+    def to_data(self) -> Dict[str, object]:
+        return {
+            "rule": self.rule,
+            "path": self.path,
+            "line": self.line,
+            "col": self.col,
+            "message": self.message,
+            "snippet": self.snippet,
+        }
+
+
+@dataclass
+class LintConfig:
+    """Knobs the rules read; tests override paths to point at fixtures."""
+
+    # RL001: repo-relative module paths where wall-clock reads are
+    # legitimate (none in the shipped tree -- duration instrumentation
+    # uses time.perf_counter, which is not banned).
+    wall_clock_allowlist: Tuple[str, ...] = ()
+    # RL005: where the central metric-name registry lives.
+    metrics_registry_path: str = "repro/observability/registry.py"
+    # RL006: the serde module and the checkpoint payload roots.
+    serde_module_path: str = "repro/simulation/serde.py"
+    serde_roots: Tuple[str, ...] = ("ShardSpec", "MissFreeResult",
+                                    "LiveResult")
+    # RL006: roots serialized by dataclasses.asdict rather than by a
+    # hand-written pair in the serde module (field types still checked).
+    asdict_roots: Tuple[str, ...] = ("ShardSpec",)
+    # RL007: package prefixes held to complete annotations (the same
+    # list pyproject.toml holds to mypy --strict).
+    typed_core_prefixes: Tuple[str, ...] = (
+        "repro/kernel/",
+        "repro/tracing/",
+        "repro/observer/",
+        "repro/core/",
+        "repro/simulation/",
+        "repro/faults/",
+        "repro/observability/",
+        "repro/lint/",
+    )
+
+
+@dataclass
+class ModuleInfo:
+    """One parsed source file, shared by every rule."""
+
+    abspath: str
+    relpath: str                  # relative to the lint root, posix style
+    source: str
+    tree: ast.Module
+    lines: List[str] = field(default_factory=list)
+    # line number -> rule ids suppressed on that line
+    suppressions: Dict[int, FrozenSet[str]] = field(default_factory=dict)
+    file_suppressions: FrozenSet[str] = frozenset()
+
+    def line_text(self, lineno: int) -> str:
+        if 1 <= lineno <= len(self.lines):
+            return self.lines[lineno - 1].strip()
+        return ""
+
+    def is_suppressed(self, finding: Finding) -> bool:
+        if finding.rule in self.file_suppressions or \
+                "all" in self.file_suppressions:
+            return True
+        rules = self.suppressions.get(finding.line)
+        if rules is None:
+            return False
+        return finding.rule in rules or "all" in rules
+
+
+def _parse_suppressions(
+        lines: Sequence[str]
+) -> Tuple[Dict[int, FrozenSet[str]], FrozenSet[str]]:
+    per_line: Dict[int, Set[str]] = {}
+    whole_file: Set[str] = set()
+    for index, text in enumerate(lines, start=1):
+        match = _SUPPRESS_FILE_RE.search(text)
+        if match:
+            whole_file.update(
+                token.strip() for token in match.group(1).split(",")
+                if token.strip())
+            continue
+        match = _SUPPRESS_RE.search(text)
+        if not match:
+            continue
+        rules = {token.strip() for token in match.group(1).split(",")
+                 if token.strip()}
+        target = index
+        if text.strip().startswith("#"):
+            # A standalone suppression comment guards the next line.
+            target = index + 1
+        per_line.setdefault(target, set()).update(rules)
+    return ({line: frozenset(rules) for line, rules in per_line.items()},
+            frozenset(whole_file))
+
+
+def load_module(abspath: str, relpath: str) -> ModuleInfo:
+    """Parse one file; raises SyntaxError for unparseable source."""
+    with open(abspath, "r", encoding="utf-8") as stream:
+        source = stream.read()
+    tree = ast.parse(source, filename=abspath)
+    lines = source.splitlines()
+    suppressions, file_suppressions = _parse_suppressions(lines)
+    return ModuleInfo(abspath=abspath, relpath=relpath, source=source,
+                      tree=tree, lines=lines, suppressions=suppressions,
+                      file_suppressions=file_suppressions)
+
+
+def collect_files(paths: Sequence[str]) -> List[Tuple[str, str]]:
+    """Expand *paths* into (abspath, relpath) pairs for every .py file.
+
+    ``relpath`` is relative to the named path's base directory so that
+    ``repro.lint src/`` yields ``repro/...`` paths -- the shape the
+    config prefixes, allowlists and baseline fingerprints use.
+    """
+    out: List[Tuple[str, str]] = []
+    seen = set()
+    for path in paths:
+        path = os.path.abspath(path)
+        if os.path.isfile(path):
+            rel = os.path.basename(path)
+            if path not in seen:
+                seen.add(path)
+                out.append((path, rel))
+            continue
+        for dirpath, dirnames, filenames in os.walk(path):
+            dirnames[:] = sorted(d for d in dirnames
+                                 if not d.startswith(".")
+                                 and d != "__pycache__")
+            for name in sorted(filenames):
+                if not name.endswith(".py"):
+                    continue
+                abspath = os.path.join(dirpath, name)
+                if abspath in seen:
+                    continue
+                seen.add(abspath)
+                rel = os.path.relpath(abspath, path).replace(os.sep, "/")
+                out.append((abspath, rel))
+    return out
+
+
+class Baseline:
+    """Grandfathered findings: fingerprint -> occurrence count."""
+
+    VERSION = 1
+
+    def __init__(self, counts: Optional[Dict[str, int]] = None) -> None:
+        self.counts: Dict[str, int] = dict(counts or {})
+
+    @classmethod
+    def load(cls, path: str) -> "Baseline":
+        try:
+            with open(path, "r", encoding="utf-8") as stream:
+                data = json.load(stream)
+        except FileNotFoundError:
+            return cls()
+        if not isinstance(data, dict) or data.get("version") != cls.VERSION:
+            raise ValueError(f"unreadable baseline file: {path}")
+        counts = data.get("findings", {})
+        if not isinstance(counts, dict):
+            raise ValueError(f"unreadable baseline file: {path}")
+        return cls({str(k): int(v) for k, v in counts.items()})
+
+    @classmethod
+    def from_findings(cls, findings: Iterable[Finding]) -> "Baseline":
+        counts: Dict[str, int] = {}
+        for finding in findings:
+            counts[finding.fingerprint] = \
+                counts.get(finding.fingerprint, 0) + 1
+        return cls(counts)
+
+    def save(self, path: str) -> None:
+        data = {
+            "version": self.VERSION,
+            "findings": {key: self.counts[key]
+                         for key in sorted(self.counts)},
+        }
+        with open(path, "w", encoding="utf-8") as stream:
+            json.dump(data, stream, indent=2, sort_keys=True)
+            stream.write("\n")
+
+    def split(self, findings: Sequence[Finding]
+              ) -> Tuple[List[Finding], List[Finding]]:
+        """Partition into (new, grandfathered), honouring counts."""
+        budget = dict(self.counts)
+        new: List[Finding] = []
+        old: List[Finding] = []
+        for finding in findings:
+            remaining = budget.get(finding.fingerprint, 0)
+            if remaining > 0:
+                budget[finding.fingerprint] = remaining - 1
+                old.append(finding)
+            else:
+                new.append(finding)
+        return new, old
+
+
+@dataclass
+class LintResult:
+    """Everything one analyzer run produced."""
+
+    findings: List[Finding]          # new findings (fail the run)
+    baselined: List[Finding]
+    suppressed: List[Finding]
+    files_checked: int
+    parse_errors: List[Finding]
+
+    @property
+    def ok(self) -> bool:
+        return not self.findings and not self.parse_errors
+
+
+def run_lint(paths: Sequence[str],
+             config: Optional[LintConfig] = None,
+             baseline: Optional[Baseline] = None,
+             select: Optional[Sequence[str]] = None) -> LintResult:
+    """Run every rule over *paths* and return the filtered findings."""
+    from repro.lint.rules import FILE_RULES
+    from repro.lint.project import PROJECT_RULES
+
+    config = config or LintConfig()
+    baseline = baseline or Baseline()
+    wanted = frozenset(select) if select else None
+
+    modules: Dict[str, ModuleInfo] = {}
+    parse_errors: List[Finding] = []
+    for abspath, relpath in collect_files(paths):
+        try:
+            modules[relpath] = load_module(abspath, relpath)
+        except SyntaxError as exc:
+            parse_errors.append(Finding(
+                rule="RL000", path=relpath, line=exc.lineno or 0,
+                col=exc.offset or 0,
+                message=f"file does not parse: {exc.msg}"))
+
+    raw: List[Finding] = []
+    for module in modules.values():
+        for rule in FILE_RULES:
+            if wanted is not None and rule.id not in wanted:
+                continue
+            raw.extend(rule.check_module(module, config))
+    for project_rule in PROJECT_RULES:
+        if wanted is not None and project_rule.id not in wanted:
+            continue
+        raw.extend(project_rule.check_project(modules, config))
+
+    raw.sort(key=lambda f: (f.path, f.line, f.col, f.rule))
+
+    live: List[Finding] = []
+    suppressed: List[Finding] = []
+    for finding in raw:
+        module = modules.get(finding.path)
+        if module is not None and module.is_suppressed(finding):
+            suppressed.append(finding)
+        else:
+            live.append(finding)
+
+    new, grandfathered = baseline.split(live)
+    return LintResult(findings=new, baselined=grandfathered,
+                      suppressed=suppressed, files_checked=len(modules),
+                      parse_errors=parse_errors)
+
+
+# ----------------------------------------------------------------------
+# output
+# ----------------------------------------------------------------------
+def render_text(result: LintResult, verbose: bool = False) -> str:
+    lines: List[str] = []
+    for finding in result.parse_errors + result.findings:
+        lines.append(f"{finding.path}:{finding.line}:{finding.col + 1}: "
+                     f"{finding.rule} {finding.message}")
+        if finding.snippet:
+            lines.append(f"    {finding.snippet}")
+    if verbose:
+        for finding in result.baselined:
+            lines.append(f"{finding.path}:{finding.line}: "
+                         f"{finding.rule} [baselined] {finding.message}")
+        for finding in result.suppressed:
+            lines.append(f"{finding.path}:{finding.line}: "
+                         f"{finding.rule} [suppressed] {finding.message}")
+    total = len(result.findings) + len(result.parse_errors)
+    summary = (f"{result.files_checked} files checked: "
+               f"{total} finding{'s' if total != 1 else ''}")
+    extras = []
+    if result.baselined:
+        extras.append(f"{len(result.baselined)} baselined")
+    if result.suppressed:
+        extras.append(f"{len(result.suppressed)} suppressed")
+    if extras:
+        summary += f" ({', '.join(extras)})"
+    lines.append(summary)
+    return "\n".join(lines)
+
+
+def render_json(result: LintResult) -> str:
+    data = {
+        "files_checked": result.files_checked,
+        "findings": [f.to_data() for f in result.parse_errors
+                     + result.findings],
+        "baselined": [f.to_data() for f in result.baselined],
+        "suppressed": [f.to_data() for f in result.suppressed],
+        "ok": result.ok,
+    }
+    return json.dumps(data, indent=2, sort_keys=True)

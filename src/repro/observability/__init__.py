@@ -10,5 +10,21 @@ never an allocation or a system call per observation.
 """
 
 from repro.observability.metrics import Metrics, SpanStat, TimerStat
+from repro.observability.registry import (
+    METRICS,
+    MetricSpec,
+    UnregisteredMetricError,
+    is_registered,
+    sort_metric_names,
+)
 
-__all__ = ["Metrics", "SpanStat", "TimerStat"]
+__all__ = [
+    "METRICS",
+    "MetricSpec",
+    "Metrics",
+    "SpanStat",
+    "TimerStat",
+    "UnregisteredMetricError",
+    "is_registered",
+    "sort_metric_names",
+]

@@ -19,8 +19,14 @@ from __future__ import annotations
 
 import time
 from contextlib import contextmanager
-from dataclasses import dataclass, field
-from typing import Dict, Iterator, Optional
+from dataclasses import dataclass
+from typing import Dict, Iterator, Optional, Tuple
+
+from repro.observability.registry import (
+    UnregisteredMetricError,
+    is_registered,
+    sort_metric_names,
+)
 
 
 @dataclass
@@ -57,24 +63,43 @@ class TimerStat:
 
 
 class Metrics:
-    """A small registry of counters, spans and timers."""
+    """A small holder of counters, spans and timers.
 
-    __slots__ = ("counters", "spans", "timers")
+    With ``strict=True`` every recorded name must be declared in
+    :mod:`repro.observability.registry` -- the runtime half of lint
+    rule RL005.  The test suite flips :attr:`strict_default` on
+    (``tests/conftest.py``) so any unregistered name used by
+    production code fails its test immediately; production runs stay
+    permissive so a hot path never pays for a typo with a crash.
+    """
 
-    def __init__(self) -> None:
+    __slots__ = ("counters", "spans", "timers", "strict")
+
+    #: Default for instances created without an explicit ``strict``;
+    #: the test suite sets this to True.
+    strict_default: bool = False
+
+    def __init__(self, strict: Optional[bool] = None) -> None:
         self.counters: Dict[str, int] = {}
         self.spans: Dict[str, SpanStat] = {}
         self.timers: Dict[str, TimerStat] = {}
+        self.strict = Metrics.strict_default if strict is None else strict
+
+    def _check(self, name: str) -> None:
+        if self.strict and not is_registered(name):
+            raise UnregisteredMetricError(name)
 
     # ------------------------------------------------------------------
     # recording
     # ------------------------------------------------------------------
     def incr(self, name: str, amount: int = 1) -> None:
         """Add *amount* to counter *name* (creating it at zero)."""
+        self._check(name)
         self.counters[name] = self.counters.get(name, 0) + amount
 
     def mark(self, name: str, count: int = 1) -> None:
         """Record *count* occurrences of span *name* at the current time."""
+        self._check(name)
         now = time.perf_counter()
         span = self.spans.get(name)
         if span is None:
@@ -86,6 +111,7 @@ class Metrics:
     @contextmanager
     def timed(self, name: str) -> Iterator[None]:
         """Time a block, accumulating into timer *name*."""
+        self._check(name)
         start = time.perf_counter()
         try:
             yield
@@ -106,6 +132,7 @@ class Metrics:
         folds the measurements into the parent's registry at join;
         this is the entry point for such pre-measured durations.
         """
+        self._check(name)
         timer = self.timers.get(name)
         if timer is None:
             timer = TimerStat()
@@ -115,7 +142,7 @@ class Metrics:
         timer.last_seconds = seconds
 
     def absorb_counters(self, snapshot: Dict[str, float],
-                        skip_suffixes: tuple = ()) -> None:
+                        skip_suffixes: Tuple[str, ...] = ()) -> None:
         """Sum another registry's counters into this one.
 
         *snapshot* is a :meth:`snapshot` mapping, possibly produced in
@@ -161,15 +188,20 @@ class Metrics:
         return out
 
     def render(self) -> str:
-        """Human-readable report, one metric per line, sorted by name."""
+        """Human-readable report, one metric per line.
+
+        Names render in the canonical registry order (unregistered
+        ones last, alphabetically), so two runs emit the same metric
+        on the same line and reports diff cleanly.
+        """
         lines = ["metrics:"]
-        for name in sorted(self.counters):
+        for name in sort_metric_names(list(self.counters)):
             lines.append(f"  {name:<40s} {self.counters[name]:>14,d}")
-        for name in sorted(self.spans):
+        for name in sort_metric_names(list(self.spans)):
             span = self.spans[name]
             lines.append(f"  {name + '.per_second':<40s} {span.rate:>14,.0f}"
                          f"  ({span.count:,d} in {span.elapsed:.3f}s)")
-        for name in sorted(self.timers):
+        for name in sort_metric_names(list(self.timers)):
             timer = self.timers[name]
             lines.append(f"  {name + '.mean_seconds':<40s} "
                          f"{timer.mean_seconds:>14.6f}"

@@ -18,7 +18,7 @@ from __future__ import annotations
 
 from collections import Counter
 from dataclasses import dataclass
-from typing import Callable, Dict, Optional, Set, Tuple
+from typing import TYPE_CHECKING, Callable, Dict, Optional, Set, Tuple
 
 from repro.core.correlator import Action, ObservedReference
 from repro.core.parameters import DEFAULT_PARAMETERS, SeerParameters
@@ -33,6 +33,9 @@ from repro.observer.filters import (
 )
 from repro.tracing.events import Operation, TraceRecord
 
+if TYPE_CHECKING:
+    from repro.kernel.process import ProcessTable
+
 ReferenceHandler = Callable[[ObservedReference], None]
 FailedAccessCallback = Callable[[str, float], None]
 
@@ -46,7 +49,7 @@ class Observer:
                  filesystem: Optional[FileSystem] = None,
                  strategy: MeaninglessStrategy = MeaninglessStrategy.THRESHOLD,
                  on_failed_access: Optional[FailedAccessCallback] = None,
-                 process_table=None) -> None:
+                 process_table: Optional["ProcessTable"] = None) -> None:
         self._handler = handler
         self._control = control if control is not None else ControlConfig()
         self._parameters = parameters

@@ -32,9 +32,9 @@ up under the CLI's ``--metrics``.  With no profile (or the inert
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Set, Tuple, Union
+from typing import Callable, Dict, List, Optional, Set, Tuple, Union
 
-from repro.core.hoard import MissSeverity
+from repro.core.hoard import HoardSelection, MissSeverity
 from repro.core.parameters import SeerParameters
 from repro.core.seer import Seer
 from repro.faults import FaultInjector, FaultProfile, profile_from_name
@@ -177,8 +177,8 @@ def _active_hours_in(period: Period, schedule: Schedule, when: float) -> float:
     return max(0.0, (when - period.start - suspended)) / HOUR
 
 
-def _faulted_fill(injector: FaultInjector, selection,
-                  sizes) -> Tuple[Set[str], int, bool]:
+def _faulted_fill(injector: FaultInjector, selection: HoardSelection,
+                  sizes: Callable[[str], int]) -> Tuple[Set[str], int, bool]:
     """Apply fill faults to a hoard selection.
 
     Returns (files actually hoarded, their bytes, interrupted?).  The

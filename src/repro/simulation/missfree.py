@@ -16,7 +16,7 @@ import math
 import random
 import zlib
 from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Optional, Sequence, Set
+from typing import Callable, Dict, List, Optional, Sequence, Set, Tuple
 
 from repro.baselines.lru import lru_miss_free_size
 from repro.baselines.spy_utility import SpyUtilityManager
@@ -26,6 +26,7 @@ from repro.core.parameters import SeerParameters
 from repro.core.seer import Seer
 from repro.investigators import (
     CIncludeInvestigator,
+    Investigator,
     MakefileInvestigator,
     NamingInvestigator,
 )
@@ -145,7 +146,8 @@ def make_size_function(trace: GeneratedTrace, seed: int) -> Callable[[str], int]
 
 
 def _is_relevant_reference(record: TraceRecord, trace: GeneratedTrace,
-                           ops=_REFERENCE_OPS) -> bool:
+                           ops: Tuple[Operation, ...] = _REFERENCE_OPS
+                           ) -> bool:
     """Does this record represent a hoardable file reference?
 
     Transient files and non-file objects are excluded: they are either
@@ -164,7 +166,7 @@ def _is_relevant_reference(record: TraceRecord, trace: GeneratedTrace,
     return node.kind.value == "regular"
 
 
-def build_investigators(trace: GeneratedTrace):
+def build_investigators(trace: GeneratedTrace) -> List[Investigator]:
     return [
         CIncludeInvestigator(trace.kernel.fs, "/home/u"),
         MakefileInvestigator(trace.kernel.fs, "/home/u"),

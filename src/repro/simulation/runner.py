@@ -39,13 +39,23 @@ import tempfile
 import time
 import zlib
 from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Optional, Sequence, Tuple
+from typing import (TYPE_CHECKING, Callable, Dict, List, Optional, Sequence,
+                    Tuple, Union)
 
 from repro.observability import Metrics
 from repro.simulation.serde import ShardResult, result_from_data, result_to_data
 
+if TYPE_CHECKING:   # workers import these lazily; annotations only here
+    from repro.core.parameters import SeerParameters
+    from repro.workload.generator import GeneratedTrace
+
 DAY = 86400.0
 WEEK = 7 * DAY
+
+#: The value types a SeerParameters field may hold.  Spelled out (not
+#: ``object``) so serde can prove every checkpointed override
+#: round-trips losslessly through JSON (lint rule RL006).
+ParamValue = Union[int, float, str, bool]
 
 CHECKPOINT_FORMAT = 1
 
@@ -74,7 +84,7 @@ class ShardSpec:
     window_seconds: Optional[float] = None    # missfree/objective only
     use_investigators: bool = False
     size_seed: int = 0
-    parameter_overrides: Tuple[Tuple[str, object], ...] = ()
+    parameter_overrides: Tuple[Tuple[str, ParamValue], ...] = ()
     # Fault injection (live cells only): the *name* of a
     # repro.faults.FaultProfile plus the injector seed, so the config
     # survives serde/checkpointing and a worker can rebuild it.
@@ -110,7 +120,7 @@ class ShardSpec:
             parts.append(f"p{zlib.crc32(blob) & 0xFFFFFFFF:08x}")
         return "-".join(parts)
 
-    def parameters(self):
+    def parameters(self) -> Optional["SeerParameters"]:
         """Rebuild the SeerParameters for this cell (None = defaults)."""
         if not self.parameter_overrides:
             return None
@@ -118,7 +128,8 @@ class ShardSpec:
         return SeerParameters(**dict(self.parameter_overrides))
 
 
-def spec_for_parameters(spec: ShardSpec, parameters) -> ShardSpec:
+def spec_for_parameters(spec: ShardSpec,
+                        parameters: "SeerParameters") -> ShardSpec:
     """Copy *spec* carrying the complete field set of *parameters*."""
     overrides = tuple(sorted(dataclasses.asdict(parameters).items()))
     return dataclasses.replace(spec, parameter_overrides=overrides)
@@ -186,11 +197,11 @@ def reproduction_grid(machines: Sequence[str], days: float, seed: int,
 # ----------------------------------------------------------------------
 # One generated trace is reused by every cell of the same
 # (machine, seed, days) that lands on this worker process.
-_TRACE_CACHE: Dict[Tuple[str, int, float], object] = {}
+_TRACE_CACHE: Dict[Tuple[str, int, float], "GeneratedTrace"] = {}
 _TRACE_CACHE_LIMIT = 4
 
 
-def _trace_for(machine: str, seed: int, days: float):
+def _trace_for(machine: str, seed: int, days: float) -> "GeneratedTrace":
     key = (machine, seed, days)
     trace = _TRACE_CACHE.get(key)
     if trace is None:

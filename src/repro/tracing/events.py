@@ -95,7 +95,7 @@ class TraceRecord:
     fd: int = -1
     entries: int = 0
 
-    def replace(self, **changes) -> "TraceRecord":
+    def replace(self, **changes: object) -> "TraceRecord":
         """Return a copy of this record with *changes* applied."""
         data = self.__dict__.copy()
         data.update(changes)

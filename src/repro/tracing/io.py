@@ -95,7 +95,7 @@ def read_trace(stream: IO[str]) -> Iterator[TraceRecord]:
             yield parse_record(line)
 
 
-def _open_for(path: str, mode: str):
+def _open_for(path: str, mode: str) -> IO[str]:
     """Open *path* for text I/O, transparently gzipped for ``.gz``.
 
     Months of traces compress extremely well (the live system logged

@@ -1,0 +1,44 @@
+"""Fixture helpers for the analyzer tests.
+
+Fixtures are written to ``tmp_path`` and linted from there, so
+``relpath`` is just the file name -- outside every typed-core prefix,
+which keeps RL007 quiet unless a test opts in with its own config.
+"""
+
+import textwrap
+
+import pytest
+
+from repro.lint import LintConfig, run_lint
+
+
+@pytest.fixture
+def lint_snippet(tmp_path):
+    """Lint one dedented source snippet; returns the LintResult."""
+
+    def _lint(source, *, select=None, config=None, name="mod.py"):
+        path = tmp_path / name
+        path.write_text(textwrap.dedent(source))
+        return run_lint([str(path)], config=config, select=select)
+
+    return _lint
+
+
+@pytest.fixture
+def lint_tree(tmp_path):
+    """Lint a {relpath: source} tree; returns the LintResult."""
+
+    def _lint(files, *, select=None, config=None):
+        root = tmp_path / "tree"
+        for relpath, source in files.items():
+            path = root / relpath
+            path.parent.mkdir(parents=True, exist_ok=True)
+            path.write_text(textwrap.dedent(source))
+        return run_lint([str(root)], config=config, select=select)
+
+    return _lint
+
+
+def rules_of(result):
+    """The rule ids of the surviving findings, as a sorted list."""
+    return sorted(f.rule for f in result.findings)

@@ -1,0 +1,168 @@
+"""Engine behaviour: suppressions, baseline round-trip, output."""
+
+import json
+import textwrap
+
+import pytest
+
+from repro.lint import Baseline, run_lint, render_json, render_text
+
+HASHY = """
+    def shard_seed(seed, path):
+        return hash(f"{seed}:{path}")
+"""
+
+
+class TestSuppressions:
+    def test_same_line_disable(self, lint_snippet):
+        result = lint_snippet("""
+            def seed(path):
+                return hash(path)  # repro-lint: disable=RL003
+        """, select=["RL003"])
+        assert result.findings == []
+        assert [f.rule for f in result.suppressed] == ["RL003"]
+
+    def test_standalone_comment_guards_next_line(self, lint_snippet):
+        result = lint_snippet("""
+            def seed(path):
+                # repro-lint: disable=RL003
+                return hash(path)
+        """, select=["RL003"])
+        assert result.findings == []
+        assert [f.rule for f in result.suppressed] == ["RL003"]
+
+    def test_disable_all(self, lint_snippet):
+        result = lint_snippet("""
+            def seed(path):
+                return hash(path)  # repro-lint: disable=all
+        """, select=["RL003"])
+        assert result.findings == []
+
+    def test_disable_file(self, lint_snippet):
+        result = lint_snippet("""
+            # repro-lint: disable-file=RL003
+
+            def seed(path):
+                return hash(path)
+
+            def other(path):
+                return hash(path)
+        """, select=["RL003"])
+        assert result.findings == []
+        assert len(result.suppressed) == 2
+
+    def test_wrong_rule_id_does_not_suppress(self, lint_snippet):
+        result = lint_snippet("""
+            def seed(path):
+                return hash(path)  # repro-lint: disable=RL001
+        """, select=["RL003"])
+        assert [f.rule for f in result.findings] == ["RL003"]
+
+
+class TestBaseline:
+    def test_round_trip_through_file(self, lint_snippet, tmp_path):
+        first = lint_snippet(HASHY, select=["RL003"])
+        assert len(first.findings) == 1
+
+        baseline_path = tmp_path / "baseline.json"
+        Baseline.from_findings(first.findings).save(str(baseline_path))
+        loaded = Baseline.load(str(baseline_path))
+
+        second = lint_snippet(HASHY, select=["RL003"])
+        new, grandfathered = loaded.split(second.findings)
+        assert new == []
+        assert len(grandfathered) == 1
+
+    def test_fingerprint_survives_line_moves(self, lint_snippet):
+        first = lint_snippet(HASHY, select=["RL003"])
+        baseline = Baseline.from_findings(first.findings)
+
+        shifted = lint_snippet("# leading comment\n# another\n"
+                               + textwrap.dedent(HASHY),
+                               select=["RL003"], name="shifted.py")
+        # Same file name so the path half of the fingerprint matches.
+        refound = [f for f in shifted.findings]
+        assert refound and refound[0].line != first.findings[0].line
+        renamed = [type(f)(rule=f.rule, path="mod.py", line=f.line,
+                           col=f.col, message=f.message, snippet=f.snippet)
+                   for f in refound]
+        new, grandfathered = baseline.split(renamed)
+        assert new == []
+        assert len(grandfathered) == 1
+
+    def test_counts_bound_the_budget(self, lint_snippet):
+        two = lint_snippet("""
+            def seeds(a, b):
+                return hash(a), hash(b)
+        """, select=["RL003"])
+        assert len(two.findings) == 2
+        # Both calls share one source line, hence one fingerprint with
+        # count 2; a baseline built from only one occurrence must let
+        # the second through as new.
+        partial = Baseline.from_findings(two.findings[:1])
+        new, grandfathered = partial.split(two.findings)
+        assert len(new) == 1 and len(grandfathered) == 1
+
+    def test_run_lint_applies_baseline(self, lint_snippet, tmp_path):
+        first = lint_snippet(HASHY, select=["RL003"])
+        baseline = Baseline.from_findings(first.findings)
+        path = tmp_path / "mod.py"
+        result = run_lint([str(path)], baseline=baseline,
+                          select=["RL003"])
+        assert result.findings == []
+        assert len(result.baselined) == 1
+        assert result.ok
+
+    def test_unreadable_baseline_raises(self, tmp_path):
+        bad = tmp_path / "baseline.json"
+        bad.write_text('{"version": 99}')
+        with pytest.raises(ValueError):
+            Baseline.load(str(bad))
+
+    def test_missing_baseline_is_empty(self, tmp_path):
+        baseline = Baseline.load(str(tmp_path / "nope.json"))
+        assert baseline.counts == {}
+
+
+class TestOutput:
+    def test_json_output_parses(self, lint_snippet):
+        result = lint_snippet(HASHY, select=["RL003"])
+        data = json.loads(render_json(result))
+        assert data["ok"] is False
+        assert data["files_checked"] == 1
+        assert data["findings"][0]["rule"] == "RL003"
+        assert data["findings"][0]["path"] == "mod.py"
+
+    def test_text_output_names_location_and_rule(self, lint_snippet):
+        result = lint_snippet(HASHY, select=["RL003"])
+        text = render_text(result)
+        assert "mod.py:" in text and "RL003" in text
+        assert text.endswith("1 finding")
+
+    def test_clean_run_is_ok(self, lint_snippet):
+        result = lint_snippet("""
+            X = 1
+        """)
+        assert result.ok
+        assert "0 findings" in render_text(result)
+
+
+class TestParseErrors:
+    def test_syntax_error_fails_the_run(self, lint_snippet):
+        result = lint_snippet("def broken(:\n")
+        assert not result.ok
+        assert [f.rule for f in result.parse_errors] == ["RL000"]
+
+
+class TestSelect:
+    def test_select_limits_rules(self, lint_snippet):
+        source = """
+            import time
+
+            def f(path):
+                return hash(path), time.time()
+        """
+        everything = lint_snippet(source)
+        only_hash = lint_snippet(source, select=["RL003"], name="b.py")
+        assert {f.rule for f in everything.findings} == {"RL001", "RL003"}
+        assert {f.rule for f in only_hash.findings} == {"RL003"}

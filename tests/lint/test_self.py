@@ -1,0 +1,73 @@
+"""The analyzer applied to this repository itself.
+
+Two promises are pinned here: ``src/`` is clean (the shipped baseline
+is empty, so nothing is grandfathered), and the PR 3 salted-``hash``
+incident cannot be reintroduced -- seeding the exact pattern back into
+the runner's source is caught by RL003.
+"""
+
+import json
+import os
+import subprocess
+import sys
+
+from repro.lint import Baseline, run_lint
+
+REPO = os.path.dirname(os.path.dirname(os.path.dirname(
+    os.path.abspath(__file__))))
+SRC = os.path.join(REPO, "src")
+
+
+class TestSrcIsClean:
+    def test_run_lint_src_has_no_findings(self):
+        result = run_lint([SRC])
+        assert result.parse_errors == []
+        messages = [f"{f.path}:{f.line}: {f.rule} {f.message}"
+                    for f in result.findings]
+        assert messages == []
+        assert result.files_checked > 50
+
+    def test_cli_exits_zero_on_src(self):
+        env = dict(os.environ, PYTHONPATH=SRC)
+        proc = subprocess.run(
+            [sys.executable, "-m", "repro.lint", "src", "--format", "json"],
+            cwd=REPO, env=env, capture_output=True, text=True)
+        assert proc.returncode == 0, proc.stdout + proc.stderr
+        data = json.loads(proc.stdout)
+        assert data["ok"] is True
+        assert data["findings"] == []
+
+    def test_shipped_baseline_is_empty(self):
+        baseline = Baseline.load(os.path.join(REPO, "lint-baseline.json"))
+        assert baseline.counts == {}
+
+
+class TestPR3Regression:
+    """Seeding the PR 3 bug back into runner.py must fail lint."""
+
+    PATTERN = (
+        "\n\n"
+        "def _shard_seed_pr3(seed, path):\n"
+        "    return hash(f\"{seed}:{path}\") & 0x7FFFFFFF\n"
+    )
+
+    def test_salted_hash_in_runner_is_caught(self, tmp_path):
+        runner_src = os.path.join(SRC, "repro", "simulation", "runner.py")
+        with open(runner_src, "r", encoding="utf-8") as stream:
+            source = stream.read()
+        assert "hash(f" not in source  # the incident really is fixed
+
+        seeded = tmp_path / "repro" / "simulation"
+        seeded.mkdir(parents=True)
+        (seeded / "runner.py").write_text(source + self.PATTERN)
+
+        result = run_lint([str(tmp_path)], select=["RL003"])
+        assert [f.rule for f in result.findings] == ["RL003"]
+        finding = result.findings[0]
+        assert finding.path == "repro/simulation/runner.py"
+        assert "hash(f" in finding.snippet
+
+    def test_current_runner_is_clean(self):
+        runner_src = os.path.join(SRC, "repro", "simulation", "runner.py")
+        result = run_lint([runner_src], select=["RL003"])
+        assert result.findings == []

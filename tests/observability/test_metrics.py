@@ -1,4 +1,10 @@
-"""Tests for the ingestion-pipeline metrics primitives."""
+"""Tests for the ingestion-pipeline metrics primitives.
+
+These exercise the raw counter/span/timer machinery with throwaway
+names, so they opt out of the suite-wide strict registry check
+(``Metrics(strict=False)``); registry enforcement itself is covered
+in ``tests/observability/test_registry.py``.
+"""
 
 import pytest
 
@@ -7,23 +13,23 @@ from repro.observability import Metrics, SpanStat, TimerStat
 
 class TestCounters:
     def test_incr_creates_and_adds(self):
-        metrics = Metrics()
+        metrics = Metrics(strict=False)
         metrics.incr("x")
         metrics.incr("x", 4)
         assert metrics.counter("x") == 5
 
     def test_missing_counter_is_zero(self):
-        assert Metrics().counter("never") == 0
+        assert Metrics(strict=False).counter("never") == 0
 
     def test_counters_in_snapshot(self):
-        metrics = Metrics()
+        metrics = Metrics(strict=False)
         metrics.incr("a", 3)
         assert metrics.snapshot()["a"] == 3
 
 
 class TestSpans:
     def test_mark_counts_events(self):
-        metrics = Metrics()
+        metrics = Metrics(strict=False)
         metrics.mark("refs")
         metrics.mark("refs", 9)
         span = metrics.span("refs")
@@ -31,7 +37,7 @@ class TestSpans:
         assert span.last >= span.first
 
     def test_rate_degenerate_cases(self):
-        assert Metrics().rate("never") == 0.0
+        assert Metrics(strict=False).rate("never") == 0.0
         assert SpanStat(count=1, first=5.0, last=5.0).rate == 0.0
 
     def test_rate_positive_over_real_span(self):
@@ -39,7 +45,7 @@ class TestSpans:
         assert span.rate == pytest.approx(50.0)
 
     def test_span_snapshot_keys(self):
-        metrics = Metrics()
+        metrics = Metrics(strict=False)
         metrics.mark("refs", 2)
         snapshot = metrics.snapshot()
         assert snapshot["refs.count"] == 2
@@ -49,7 +55,7 @@ class TestSpans:
 
 class TestTimers:
     def test_timed_accumulates(self):
-        metrics = Metrics()
+        metrics = Metrics(strict=False)
         with metrics.timed("build"):
             pass
         with metrics.timed("build"):
@@ -59,7 +65,7 @@ class TestTimers:
         assert timer.total_seconds >= timer.last_seconds >= 0.0
 
     def test_timed_records_on_exception(self):
-        metrics = Metrics()
+        metrics = Metrics(strict=False)
         with pytest.raises(RuntimeError):
             with metrics.timed("build"):
                 raise RuntimeError("boom")
@@ -71,7 +77,7 @@ class TestTimers:
         assert TimerStat().mean_seconds == 0.0
 
     def test_timer_snapshot_keys(self):
-        metrics = Metrics()
+        metrics = Metrics(strict=False)
         with metrics.timed("build"):
             pass
         snapshot = metrics.snapshot()
@@ -82,7 +88,7 @@ class TestTimers:
 
 class TestRenderReset:
     def test_render_mentions_every_metric(self):
-        metrics = Metrics()
+        metrics = Metrics(strict=False)
         metrics.incr("evictions", 7)
         metrics.mark("refs", 3)
         with metrics.timed("build"):
@@ -93,7 +99,7 @@ class TestRenderReset:
         assert "build.mean_seconds" in text
 
     def test_reset_clears_all(self):
-        metrics = Metrics()
+        metrics = Metrics(strict=False)
         metrics.incr("a")
         metrics.mark("b")
         with metrics.timed("c"):
