@@ -1,0 +1,96 @@
+"""Compare ``BENCH_*.json`` records against the committed trajectory.
+
+Usage::
+
+    python benchmarks/check_trajectory.py [output_dir]
+
+``benchmarks/trajectory.json`` pins, per benchmark, the loosest bounds
+the project is willing to accept on a cold CI runner:
+``min_throughput_per_second``, ``max_wall_seconds`` and
+``max_peak_rss_bytes`` (any subset).  Records missing a trajectory
+entry pass with a note (new benchmarks ratchet in by being added to
+the trajectory); trajectory entries marked ``"required": true`` fail
+the gate when their record was never produced.  Bounds are meant to
+catch order-of-magnitude regressions, not run-to-run noise -- keep
+them generous and tighten deliberately.
+"""
+
+import json
+import os
+import sys
+
+HERE = os.path.dirname(os.path.abspath(__file__))
+TRAJECTORY = os.path.join(HERE, "trajectory.json")
+
+
+def load_records(output_dir):
+    records = {}
+    if not os.path.isdir(output_dir):
+        return records
+    for name in sorted(os.listdir(output_dir)):
+        if name.startswith("BENCH_") and name.endswith(".json"):
+            with open(os.path.join(output_dir, name),
+                      encoding="utf-8") as stream:
+                record = json.load(stream)
+            records[record["name"]] = record
+    return records
+
+
+def check(record, bounds):
+    """Yield failure strings for every violated bound."""
+    throughput = record.get("throughput_per_second", 0.0)
+    minimum = bounds.get("min_throughput_per_second")
+    if minimum is not None and throughput < minimum:
+        yield (f"throughput {throughput:,.0f}/s below trajectory "
+               f"minimum {minimum:,.0f}/s")
+    wall = record.get("wall_seconds", 0.0)
+    maximum = bounds.get("max_wall_seconds")
+    if maximum is not None and wall > maximum:
+        yield (f"wall-clock {wall:.1f}s above trajectory "
+               f"maximum {maximum:.1f}s")
+    rss = record.get("peak_rss_bytes", 0)
+    cap = bounds.get("max_peak_rss_bytes")
+    if cap is not None and rss > cap:
+        yield (f"peak RSS {rss / 2**20:,.0f} MiB above trajectory "
+               f"maximum {cap / 2**20:,.0f} MiB")
+
+
+def main(argv):
+    output_dir = argv[1] if len(argv) > 1 else os.path.join(HERE, "output")
+    with open(TRAJECTORY, encoding="utf-8") as stream:
+        trajectory = json.load(stream)
+    records = load_records(output_dir)
+
+    failures = []
+    for name in sorted(trajectory):
+        bounds = trajectory[name]
+        record = records.get(name)
+        if record is None:
+            if bounds.get("required"):
+                failures.append(f"{name}: required record missing from "
+                                f"{output_dir}")
+            else:
+                print(f"  skip  {name}: no record produced this run")
+            continue
+        problems = list(check(record, bounds))
+        if problems:
+            failures.extend(f"{name}: {problem}" for problem in problems)
+        else:
+            print(f"  ok    {name}: {record['wall_seconds']:.2f}s, "
+                  f"{record['throughput_per_second']:,.0f}/s, "
+                  f"{record['peak_rss_bytes'] / 2**20:,.0f} MiB peak")
+    for name in sorted(set(records) - set(trajectory)):
+        print(f"  note  {name}: no trajectory entry yet (add one to "
+              f"benchmarks/trajectory.json to ratchet it in)")
+
+    if failures:
+        print("\nperformance trajectory violations:")
+        for failure in failures:
+            print(f"  FAIL  {failure}")
+        return 1
+    print("\nperformance trajectory: all bounds hold")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

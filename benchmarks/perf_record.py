@@ -1,0 +1,45 @@
+"""Machine-readable benchmark records (``BENCH_<name>.json``).
+
+Benchmarks historically wrote free-form ``.txt`` reports for humans;
+this module adds a parallel machine-readable record per benchmark --
+throughput, wall-clock and peak RSS -- so CI can compare runs against
+the committed performance trajectory (``benchmarks/trajectory.json``,
+enforced by ``benchmarks/check_trajectory.py``).
+"""
+
+import json
+import os
+import resource
+import sys
+from typing import Dict, Optional
+
+
+def peak_rss_bytes() -> int:
+    """High-water resident set size of this process, in bytes.
+
+    ``ru_maxrss`` is kilobytes on Linux and bytes on macOS; normalize
+    so trajectory bounds mean the same thing everywhere.
+    """
+    rss = resource.getrusage(resource.RUSAGE_SELF).ru_maxrss
+    return rss if sys.platform == "darwin" else rss * 1024
+
+
+def write_record(output_dir: str, name: str, wall_seconds: float,
+                 items: int, extra: Optional[Dict] = None) -> Dict:
+    """Write ``BENCH_<name>.json`` under *output_dir* and return it."""
+    record = {
+        "name": name,
+        "wall_seconds": round(wall_seconds, 6),
+        "items": items,
+        "throughput_per_second": (
+            round(items / wall_seconds, 3) if wall_seconds > 0 else 0.0),
+        "peak_rss_bytes": peak_rss_bytes(),
+        "smoke": os.environ.get("REPRO_BENCH_SMOKE") == "1",
+    }
+    if extra:
+        record.update(extra)
+    path = os.path.join(output_dir, f"BENCH_{name}.json")
+    with open(path, "w", encoding="utf-8") as stream:
+        json.dump(record, stream, indent=2, sort_keys=True)
+        stream.write("\n")
+    return record

@@ -16,6 +16,7 @@ import os
 import random
 import time
 
+from benchmarks.perf_record import write_record
 from repro.core.correlator import Action, Correlator, ObservedReference
 from repro.core.parameters import SeerParameters
 
@@ -115,6 +116,9 @@ def test_ingest_throughput_speedup(output_dir):
               "w") as handle:
         handle.write("\n".join(report) + "\n")
     print("\n".join(report))
+    write_record(output_dir, "correlator_ingest",
+                 FAST_EVENTS / fast_rate, FAST_EVENTS,
+                 extra={"speedup_vs_seed": round(fast_rate / slow_rate, 2)})
 
     assert fast.references_processed == FAST_EVENTS
     # The unbounded scan's cost grows with the slow prefix's file

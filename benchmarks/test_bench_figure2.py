@@ -14,6 +14,7 @@ import time
 import pytest
 
 from benchmarks.conftest import BENCH_DAYS, BENCH_SEED, DAY, WEEK, get_missfree
+from benchmarks.perf_record import write_record
 from repro.analysis import render_figure2
 
 MACHINES = list("ABCDEFGHI")
@@ -111,6 +112,9 @@ def test_figure2_parallel_mode(benchmark, output_dir):
             f"jobs=4:   {parallel_seconds:8.2f} s\n"
             f"speedup:  {speedup:8.2f}x on {cores} cores\n"
             f"output byte-identical: True\n")
+    write_record(output_dir, "figure2_parallel", parallel_seconds,
+                 len(shards), extra={"speedup_vs_serial": round(speedup, 2),
+                                     "cores": cores})
     if cores >= 4 and not SMOKE:
         assert speedup >= 2.0, (
             f"expected >= 2x speedup at jobs=4 on {cores} cores, "

@@ -1,0 +1,129 @@
+"""Checkpoint store throughput: json-dir vs sqlite/WAL.
+
+The json backend pays a file create + atomic rename per cell; the
+sqlite backend amortizes one fsync over a whole batch.  This benchmark
+pushes an N-cell synthetic grid through both backends, records write
+and restore throughput as ``BENCH_store_*.json`` for the trajectory
+gate, and pins the structural claim that motivated the sqlite backend:
+O(1) files on disk regardless of grid size.
+
+``REPRO_BENCH_SMOKE=1`` shrinks N for CI smoke runs.
+"""
+
+import os
+import shutil
+import tempfile
+import time
+
+import pytest
+
+from benchmarks.conftest import DAY
+from benchmarks.perf_record import write_record
+from repro.simulation.runner import ShardSpec
+from repro.simulation.store import open_store
+
+SMOKE = os.environ.get("REPRO_BENCH_SMOKE") == "1"
+
+#: Cells pushed through each backend.  The payload is synthetic (the
+#: store never looks inside the result dict), so the grid can be far
+#: larger than any simulation benchmark could afford.
+N_CELLS = 400 if SMOKE else 4000
+
+
+def grid():
+    return [ShardSpec("missfree", "E", seed, 5.0, window_seconds=DAY)
+            for seed in range(N_CELLS)]
+
+
+def payload(seed):
+    return {"type": "missfree",
+            "windows": [{"seed": seed, "seer": 1.0 + seed, "lru": 2.0}]}
+
+
+@pytest.mark.parametrize("backend", ["json", "sqlite"])
+def test_store_write_throughput(benchmark, output_dir, backend):
+    specs = grid()
+    root = tempfile.mkdtemp(prefix=f"bench-store-{backend}-")
+    try:
+        def write_all():
+            with open_store(backend, root) as store:
+                for seed, spec in enumerate(specs):
+                    store.put(spec, payload(seed), elapsed_seconds=0.0)
+                return store.bytes_on_disk()
+
+        start = time.perf_counter()
+        bytes_on_disk = benchmark.pedantic(write_all, rounds=1,
+                                           iterations=1)
+        elapsed = time.perf_counter() - start
+
+        files = len(os.listdir(root))
+        record = write_record(
+            output_dir, f"store_write_{backend}", elapsed, N_CELLS,
+            extra={"files_on_disk": files, "bytes_on_disk": bytes_on_disk})
+        print(f"store_write_{backend}: "
+              f"{record['throughput_per_second']:,.0f} cells/s, "
+              f"{files} files, {bytes_on_disk:,d} bytes")
+
+        # The structural claim: one file per cell vs O(1) files.
+        if backend == "json":
+            assert files == N_CELLS
+        else:
+            assert files == 1
+    finally:
+        shutil.rmtree(root, ignore_errors=True)
+
+
+@pytest.mark.parametrize("backend", ["json", "sqlite"])
+def test_store_restore_throughput(benchmark, output_dir, backend):
+    specs = grid()
+    root = tempfile.mkdtemp(prefix=f"bench-store-{backend}-")
+    try:
+        with open_store(backend, root) as store:
+            for seed, spec in enumerate(specs):
+                store.put(spec, payload(seed), elapsed_seconds=0.0)
+
+        def restore_all():
+            with open_store(backend, root) as store:
+                restored = sum(1 for spec in specs
+                               if store.get(spec) is not None)
+                assert store.corrupt_discarded == 0
+                return restored
+
+        start = time.perf_counter()
+        restored = benchmark.pedantic(restore_all, rounds=1, iterations=1)
+        elapsed = time.perf_counter() - start
+        assert restored == N_CELLS
+
+        record = write_record(output_dir, f"store_restore_{backend}",
+                              elapsed, N_CELLS)
+        print(f"store_restore_{backend}: "
+              f"{record['throughput_per_second']:,.0f} cells/s")
+    finally:
+        shutil.rmtree(root, ignore_errors=True)
+
+
+def test_store_compaction_reclaims(benchmark, output_dir):
+    """Superseding every cell once, then compacting, halves the rows
+    and must not grow the file."""
+    specs = grid()
+    root = tempfile.mkdtemp(prefix="bench-store-compact-")
+    try:
+        with open_store("sqlite", root) as store:
+            for seed, spec in enumerate(specs):
+                store.put(spec, payload(seed), elapsed_seconds=0.0)
+            for seed, spec in enumerate(specs):
+                store.put(spec, payload(seed + 1), elapsed_seconds=0.0)
+
+            start = time.perf_counter()
+            stats = benchmark.pedantic(
+                lambda: store.compact(keep=[s.shard_id for s in specs]),
+                rounds=1, iterations=1)
+            elapsed = time.perf_counter() - start
+
+        assert stats.removed_superseded == N_CELLS
+        assert stats.bytes_after <= stats.bytes_before
+        write_record(output_dir, "store_compact_sqlite", elapsed, N_CELLS,
+                     extra={"bytes_before": stats.bytes_before,
+                            "bytes_after": stats.bytes_after})
+    finally:
+        shutil.rmtree(root, ignore_errors=True)

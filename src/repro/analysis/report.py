@@ -108,16 +108,22 @@ def run_reproduction(machines: Sequence[str] = ("C", "D", "F"),
                      resume: bool = False,
                      metrics=None,
                      fault_profile: Optional[str] = None,
-                     fault_seed: int = 0) -> ReproductionReport:
+                     fault_seed: int = 0,
+                     store: str = "json") -> ReproductionReport:
     """Run the evaluation for *machines* and return the report.
 
     The (machine x period x simulator) grid runs on the parallel
-    experiment runner: *jobs* worker processes, per-cell JSON
-    checkpoints under *checkpoint_dir*, and *resume* to restart an
-    interrupted study recomputing only the missing cells.  Results are
-    identical for every *jobs* value (see docs/parallel-runner.md).
-    *fault_profile*/*fault_seed* turn on deterministic fault injection
-    for the live cells (docs/fault-injection.md).
+    experiment runner: *jobs* worker processes, checkpoints under
+    *checkpoint_dir* through the *store* backend (``"json"`` per-cell
+    files or ``"sqlite"`` single-file WAL, docs/state-store.md), and
+    *resume* to restart an interrupted study recomputing only the
+    missing cells.  Results are identical for every *jobs* value and
+    every backend (see docs/parallel-runner.md).  Outcomes stream into
+    the report at join -- with a checkpoint store the runner holds one
+    cell in memory at a time, so a fleet-scale grid aggregates in
+    O(machines) memory, not O(cells).  *fault_profile*/*fault_seed*
+    turn on deterministic fault injection for the live cells
+    (docs/fault-injection.md).
     """
     from repro.simulation.runner import reproduction_grid, run_shards
     report = ReproductionReport(machines=list(machines), days=days, seed=seed)
@@ -127,12 +133,15 @@ def run_reproduction(machines: Sequence[str] = ("C", "D", "F"),
                                include_investigators=include_investigators,
                                fault_profile=fault_profile,
                                fault_seed=fault_seed)
-    outcomes = run_shards(shards, jobs=jobs, checkpoint_dir=checkpoint_dir,
-                          resume=resume, metrics=metrics, progress=progress)
-    for outcome in outcomes:
+
+    def consume(outcome):
         if outcome.spec.kind == "missfree":
             report.missfree.append(outcome.result)
         elif outcome.spec.kind == "live":
             report.live.append(outcome.result)
+
+    run_shards(shards, jobs=jobs, checkpoint_dir=checkpoint_dir,
+               resume=resume, metrics=metrics, progress=progress,
+               store=store, consume=consume)
     report.elapsed_seconds = time.perf_counter() - start
     return report

@@ -13,12 +13,15 @@ Subcommands:
 All simulation commands accept a machine name (A-I); ``generate`` can
 persist the trace for later ``stats`` inspection.
 
-``figure2``, ``report`` and ``sweep`` run their experiment grids on
-the parallel runner (docs/parallel-runner.md): ``--jobs N`` shards the
-grid across N worker processes, ``--checkpoint-dir DIR`` persists one
-JSON file per completed cell, and ``--resume`` restarts an interrupted
-study recomputing only the missing cells.  Output is identical for
-every ``--jobs`` value.
+``figure2``, ``report``, ``sweep`` and ``live`` run their experiment
+grids on the parallel runner (docs/parallel-runner.md): ``--jobs N``
+shards the grid across N worker processes, ``--checkpoint-dir DIR``
+persists completed cells through the checkpoint state store
+(docs/state-store.md) -- ``--store json`` writes one file per cell,
+``--store sqlite`` a single WAL-mode database suited to fleet-scale
+grids -- and ``--resume`` restarts an interrupted study recomputing
+only the missing cells.  Output is identical for every ``--jobs``
+value and every ``--store`` backend.
 
 ``live`` and ``report`` accept ``--fault-profile``/``--fault-seed``
 (docs/fault-injection.md): deterministic injection of surprise
@@ -70,8 +73,16 @@ def _add_runner_arguments(parser: argparse.ArgumentParser) -> None:
                              "(default 1; results are identical for any "
                              "value)")
     parser.add_argument("--checkpoint-dir", metavar="DIR",
-                        help="write one JSON checkpoint per completed "
-                             "grid cell into DIR")
+                        help="persist completed grid cells into DIR "
+                             "through the checkpoint state store "
+                             "(docs/state-store.md)")
+    parser.add_argument("--store", choices=("json", "sqlite"),
+                        default="json",
+                        help="checkpoint backend under --checkpoint-dir: "
+                             "'json' writes one file per cell (default, "
+                             "PR 3-compatible), 'sqlite' one WAL-mode "
+                             "database file with batched transactional "
+                             "writes for fleet-scale grids")
     parser.add_argument("--resume", action="store_true",
                         help="reload completed cells from "
                              "--checkpoint-dir and run only the missing "
@@ -158,10 +169,22 @@ def cmd_missfree(args) -> int:
 
 
 def cmd_live(args) -> int:
-    trace = _trace_for(args)
-    result = simulate_live_usage(trace,
-                                 fault_profile=args.fault_profile,
-                                 fault_seed=args.fault_seed)
+    if args.checkpoint_dir:
+        # Run the single live cell through the parallel runner so it is
+        # checkpointed (and resumable) under the selected store backend.
+        from repro.simulation.runner import ShardSpec, run_shards
+        spec = ShardSpec("live", args.machine, args.seed, args.days,
+                         fault_profile=args.fault_profile,
+                         fault_seed=args.fault_seed)
+        (outcome,) = run_shards([spec], jobs=args.jobs,
+                                checkpoint_dir=args.checkpoint_dir,
+                                resume=args.resume, store=args.store)
+        result = outcome.result
+    else:
+        trace = _trace_for(args)
+        result = simulate_live_usage(trace,
+                                     fault_profile=args.fault_profile,
+                                     fault_seed=args.fault_seed)
     if args.fault_profile:
         print(f"(fault profile {args.fault_profile!r}, "
               f"fault seed {args.fault_seed})", file=sys.stderr)
@@ -184,6 +207,7 @@ def cmd_figure2(args) -> int:
     outcomes = run_shards(shards, jobs=args.jobs,
                           checkpoint_dir=args.checkpoint_dir,
                           resume=args.resume, metrics=metrics,
+                          store=args.store,
                           progress=lambda msg: print(msg, file=sys.stderr))
     print(render_figure2([o.result for o in outcomes], show_ci=False))
     if args.metrics:
@@ -200,6 +224,7 @@ def cmd_report(args) -> int:
                               resume=args.resume, metrics=metrics,
                               fault_profile=args.fault_profile,
                               fault_seed=args.fault_seed,
+                              store=args.store,
                               progress=lambda msg: print(msg, file=sys.stderr))
     print(report.render())
     if args.metrics:
@@ -222,7 +247,7 @@ def cmd_sweep(args) -> int:
     points = sweep_parameter(SIM_PARAMETERS, args.parameter, values, [trace],
                              jobs=args.jobs,
                              checkpoint_dir=args.checkpoint_dir,
-                             resume=args.resume)
+                             resume=args.resume, store=args.store)
     print(f"sweep of {args.parameter} on machine {args.machine} "
           f"(objective: mean hoard overhead, lower is better)")
     for point in points:
@@ -276,6 +301,7 @@ def build_parser() -> argparse.ArgumentParser:
 
     live = commands.add_parser("live", help="live-usage simulation")
     _add_machine_arguments(live)
+    _add_runner_arguments(live)
     _add_fault_arguments(live)
     live.add_argument("--metrics", action="store_true",
                       help="print ingestion-pipeline counters (and, "

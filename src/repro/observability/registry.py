@@ -93,6 +93,18 @@ METRICS: Tuple[MetricSpec, ...] = (
                "per-shard compute time, tuning-objective cells"),
     MetricSpec("runner.machine.*", "timer",
                "per-machine compute time (one timer per trace machine)"),
+    # -- checkpoint state store (repro.simulation.store) ---------------
+    MetricSpec("runner.store.writes", "counter",
+               "checkpoint payloads written through the state store"),
+    MetricSpec("runner.store.batched_txns", "counter",
+               "transactional batch commits (sqlite backend)"),
+    MetricSpec("runner.store.corrupt_discarded", "counter",
+               "checkpoints discarded as corrupt, torn or stale instead "
+               "of being silently reused"),
+    MetricSpec("runner.store.compacted", "counter",
+               "superseded/corrupt/stale entries removed by compact()"),
+    MetricSpec("runner.store.bytes_on_disk", "counter",
+               "bytes the checkpoint store occupies after the sweep"),
     # -- fault injection -----------------------------------------------
     MetricSpec("faults.injected_total", "counter",
                "all injected fault events, summed across kinds"),

@@ -41,6 +41,14 @@ from repro.simulation.runner import (
     reproduction_grid,
     run_shards,
 )
+from repro.simulation.store import (
+    CheckpointEntry,
+    CompactionStats,
+    JsonDirStore,
+    SqliteStore,
+    StateStore,
+    open_store,
+)
 
 SIM_PARAMETERS = SeerParameters(
     frequent_file_fraction=0.05,
@@ -64,18 +72,24 @@ def simulation_control() -> ControlConfig:
     return config
 
 __all__ = [
+    "CheckpointEntry",
+    "CompactionStats",
     "DisconnectionOutcome",
+    "JsonDirStore",
     "LiveResult",
     "MissFreeResult",
     "RunStats",
     "SIM_PARAMETERS",
     "ShardOutcome",
     "ShardSpec",
+    "SqliteStore",
+    "StateStore",
     "SummaryStatistics",
     "WindowResult",
     "ci99_halfwidth",
     "execute_shard",
     "figure2_grid",
+    "open_store",
     "reproduction_grid",
     "run_shards",
     "simulate_live_usage",

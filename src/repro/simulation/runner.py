@@ -13,20 +13,30 @@ organize everything:
   reproducible regardless of scheduling, pool size or which process
   ran it.
 
-* **Per-shard checkpointing.**  With a ``checkpoint_dir``, every
-  completed cell is written atomically (temp file + ``os.replace``) as
-  ``<shard_id>.json`` holding the spec and the losslessly-serialized
-  result (:mod:`repro.simulation.serde`).  A crash can lose at most
-  cells that had not finished.
+* **Pluggable checkpointing.**  With a ``checkpoint_dir``, every
+  completed cell is persisted through a
+  :class:`repro.simulation.store.StateStore` backend -- per-cell JSON
+  files (``store="json"``, the PR 3-compatible default) or a single
+  WAL-mode sqlite database with batched transactional writes
+  (``store="sqlite"``, for fleet-scale grids).  A crash can lose at
+  most cells that had not been made durable.
 
 * **Resume.**  With ``resume=True`` the runner reloads every valid
   checkpoint and runs only the missing cells.  Corrupt or truncated
-  files, stale formats, and files whose recorded spec does not match
-  the requested cell are all discarded and recomputed.
+  entries, stale schema versions, fingerprint mismatches and entries
+  whose recorded spec does not match the requested cell are all
+  discarded and recomputed -- and *counted*
+  (:attr:`RunStats.corrupt_discarded`, ``runner.store.corrupt_discarded``).
+
+* **Streaming aggregation.**  A *consume* callback receives each
+  outcome in grid order and nothing is accumulated: with a store the
+  join holds one cell in memory at a time, so sweep memory is
+  O(machines of aggregate), not O(cells).
 
 Results always travel through the JSON serde -- even with ``jobs=1``
 and no checkpoint directory -- so serial, parallel and resumed sweeps
-are cell-for-cell identical.
+are cell-for-cell identical, under either backend
+(``tests/simulation/test_store_differential.py``).
 """
 
 from __future__ import annotations
@@ -35,7 +45,6 @@ import dataclasses
 import json
 import multiprocessing
 import os
-import tempfile
 import time
 import zlib
 from dataclasses import dataclass, field
@@ -44,6 +53,13 @@ from typing import (TYPE_CHECKING, Callable, Dict, List, Optional, Sequence,
 
 from repro.observability import Metrics
 from repro.simulation.serde import ShardResult, result_from_data, result_to_data
+from repro.simulation.store import (
+    SCHEMA_VERSION as CHECKPOINT_FORMAT,
+    JsonDirStore,
+    StateStore,
+    open_store,
+    spec_to_data as _spec_to_data,
+)
 
 if TYPE_CHECKING:   # workers import these lazily; annotations only here
     from repro.core.parameters import SeerParameters
@@ -56,8 +72,6 @@ WEEK = 7 * DAY
 #: ``object``) so serde can prove every checkpointed override
 #: round-trips losslessly through JSON (lint rule RL006).
 ParamValue = Union[int, float, str, bool]
-
-CHECKPOINT_FORMAT = 1
 
 #: Snapshot keys with these suffixes come from spans/timers; everything
 #: else in a ``Metrics.snapshot()`` is a plain counter and can be summed
@@ -133,13 +147,6 @@ def spec_for_parameters(spec: ShardSpec,
     """Copy *spec* carrying the complete field set of *parameters*."""
     overrides = tuple(sorted(dataclasses.asdict(parameters).items()))
     return dataclasses.replace(spec, parameter_overrides=overrides)
-
-
-def _spec_to_data(spec: ShardSpec) -> Dict:
-    data = dataclasses.asdict(spec)
-    data["parameter_overrides"] = [
-        [name, value] for name, value in spec.parameter_overrides]
-    return data
 
 
 # ----------------------------------------------------------------------
@@ -245,59 +252,39 @@ def _run_shard(spec: ShardSpec) -> Tuple[str, Dict, float]:
 
 
 # ----------------------------------------------------------------------
-# checkpointing
+# checkpointing (PR 3-compatible convenience wrappers)
 # ----------------------------------------------------------------------
+# The pluggable storage layer lives in repro.simulation.store; these
+# wrappers keep the original one-JSON-file-per-cell helpers working for
+# callers (and result directories) that predate it.
 def checkpoint_path(checkpoint_dir: str, spec: ShardSpec) -> str:
     return os.path.join(checkpoint_dir, spec.shard_id + ".json")
 
 
 def write_checkpoint(checkpoint_dir: str, spec: ShardSpec, data: Dict,
                      elapsed_seconds: float) -> str:
-    """Atomically persist one completed cell."""
-    path = checkpoint_path(checkpoint_dir, spec)
-    payload = {
-        "format": CHECKPOINT_FORMAT,
-        "shard_id": spec.shard_id,
-        "spec": _spec_to_data(spec),
-        "elapsed_seconds": elapsed_seconds,
-        "result": data,
-    }
-    handle, temp = tempfile.mkstemp(dir=checkpoint_dir,
-                                    prefix=spec.shard_id + ".",
-                                    suffix=".tmp")
-    try:
-        with os.fdopen(handle, "w", encoding="utf-8") as stream:
-            json.dump(payload, stream)
-        os.replace(temp, path)
-    except BaseException:
-        if os.path.exists(temp):
-            os.unlink(temp)
-        raise
-    return path
+    """Atomically persist one completed cell as ``<shard_id>.json``."""
+    JsonDirStore(checkpoint_dir).open().put(spec, data, elapsed_seconds)
+    return checkpoint_path(checkpoint_dir, spec)
 
 
 def load_checkpoint(checkpoint_dir: str, spec: ShardSpec) -> Optional[Dict]:
-    """Reload one cell, or None if it is missing or unusable.
+    """Reload one cell's payload dict, or None if missing or unusable.
 
     A checkpoint is only trusted when it parses, carries the current
     format, and records exactly the spec being asked for -- a stale
     file from a differently-shaped grid is recomputed, not reused.
     """
-    path = checkpoint_path(checkpoint_dir, spec)
-    try:
-        with open(path, "r", encoding="utf-8") as stream:
-            payload = json.load(stream)
-    except (OSError, ValueError):
+    entry = JsonDirStore(checkpoint_dir).get(spec)
+    if entry is None:
         return None
-    if not isinstance(payload, dict) or \
-            payload.get("format") != CHECKPOINT_FORMAT:
-        return None
-    if payload.get("spec") != _spec_to_data(spec):
-        return None
-    result = payload.get("result")
-    if not isinstance(result, dict):
-        return None
-    return payload
+    return {
+        "format": entry.schema_version,
+        "shard_id": entry.shard_id,
+        "spec": entry.spec_data,
+        "elapsed_seconds": entry.elapsed_seconds,
+        "result": entry.result,
+    }
 
 
 # ----------------------------------------------------------------------
@@ -320,6 +307,7 @@ class RunStats:
     shards_total: int = 0
     shards_run: int = 0
     shards_from_checkpoint: int = 0
+    corrupt_discarded: int = 0
     wall_seconds: float = 0.0
     busy_seconds: float = 0.0
     jobs: int = 1
@@ -348,14 +336,30 @@ def run_shards(shards: Sequence[ShardSpec], jobs: int = 1,
                checkpoint_dir: Optional[str] = None, resume: bool = False,
                metrics: Optional[Metrics] = None,
                progress: Optional[Callable[[str], None]] = None,
-               stats: Optional[RunStats] = None) -> List[ShardOutcome]:
+               stats: Optional[RunStats] = None,
+               store: Union[str, StateStore] = "json",
+               consume: Optional[Callable[[ShardOutcome], None]] = None,
+               compact: bool = False) -> List[ShardOutcome]:
     """Run every cell of *shards*, in parallel when ``jobs > 1``.
 
-    Returns outcomes in grid order regardless of completion order, so
-    downstream rendering is identical for any pool size.  ``metrics``
-    (a :class:`repro.observability.Metrics`) receives per-shard timers,
-    per-machine cost, merged ingestion counters and pool utilization;
+    Outcomes are produced in grid order regardless of completion
+    order, so downstream rendering is identical for any pool size.
+    ``metrics`` (a :class:`repro.observability.Metrics`) receives
+    per-shard timers, per-machine cost, merged ingestion counters,
+    ``runner.store.*`` storage counters and pool utilization;
     ``stats`` (a :class:`RunStats`) receives the sweep-shape summary.
+
+    *store* selects the checkpoint backend (``"json"`` or
+    ``"sqlite"``, see :mod:`repro.simulation.store`) used under
+    *checkpoint_dir*; an already-open :class:`StateStore` is also
+    accepted and is left open for the caller.  *compact* garbage
+    collects superseded, corrupt and stale entries after a successful
+    sweep, keeping exactly this grid's cells.
+
+    With *consume*, each :class:`ShardOutcome` is streamed to the
+    callback in grid order and an empty list is returned: combined
+    with a store, the join keeps one cell in memory at a time instead
+    of materializing the whole grid (O(aggregate), not O(cells)).
     """
     shards = list(shards)
     ids = [spec.shard_id for spec in shards]
@@ -373,63 +377,99 @@ def run_shards(shards: Sequence[ShardSpec], jobs: int = 1,
         metrics.incr("runner.jobs", jobs)
 
     start = time.perf_counter()
-    if checkpoint_dir:
-        os.makedirs(checkpoint_dir, exist_ok=True)
+    state: Optional[StateStore] = None
+    owns_store = False
+    if isinstance(store, StateStore):
+        state = store
+    elif checkpoint_dir:
+        state = open_store(store, checkpoint_dir, metrics=metrics)
+        owns_store = True
 
-    completed: Dict[str, Tuple[Dict, float, bool]] = {}
-    pending: List[ShardSpec] = []
-    for spec in shards:
-        payload = load_checkpoint(checkpoint_dir, spec) \
-            if (checkpoint_dir and resume) else None
-        if payload is not None:
-            completed[spec.shard_id] = (
-                payload["result"], payload.get("elapsed_seconds", 0.0), True)
-            stats.shards_from_checkpoint += 1
+    try:
+        # With both a store and a consumer the results stay on disk
+        # until the final in-order pass; otherwise they are buffered.
+        streaming = consume is not None and state is not None
+        buffered: Dict[str, Tuple[Optional[Dict], float, bool]] = {}
+        pending: List[ShardSpec] = []
+        for spec in shards:
+            entry = state.get(spec) if (state is not None and resume) \
+                else None
+            if entry is not None:
+                buffered[spec.shard_id] = (
+                    None if streaming else entry.result,
+                    entry.elapsed_seconds, True)
+                stats.shards_from_checkpoint += 1
+                if metrics is not None:
+                    metrics.incr("runner.shards_from_checkpoint")
+                if progress is not None:
+                    progress(f"machine {spec.machine}: shard "
+                             f"{spec.shard_id} restored from checkpoint")
+            else:
+                pending.append(spec)
+
+        by_id = {spec.shard_id: spec for spec in shards}
+
+        def finish(shard_id: str, data: Dict, elapsed: float) -> None:
+            spec = by_id[shard_id]
+            if state is not None:
+                state.put(spec, data, elapsed)
+            buffered[shard_id] = (None if streaming else data,
+                                  elapsed, False)
+            stats.shards_run += 1
+            stats.busy_seconds += elapsed
             if metrics is not None:
-                metrics.incr("runner.shards_from_checkpoint")
+                _absorb_shard_metrics(metrics, spec, data, elapsed)
             if progress is not None:
-                progress(f"machine {spec.machine}: shard {spec.shard_id} "
-                         f"restored from checkpoint")
-        else:
-            pending.append(spec)
+                progress(f"machine {spec.machine}: shard {shard_id} "
+                         f"done in {elapsed:.2f}s")
 
-    by_id = {spec.shard_id: spec for spec in shards}
+        if pending:
+            if jobs == 1 or len(pending) == 1:
+                for spec in pending:
+                    finish(*_run_shard(spec))
+            else:
+                workers = min(jobs, len(pending))
+                with multiprocessing.Pool(processes=workers) as pool:
+                    for shard_id, data, elapsed in pool.imap_unordered(
+                            _run_shard, pending):
+                        finish(shard_id, data, elapsed)
 
-    def finish(shard_id: str, data: Dict, elapsed: float) -> None:
-        spec = by_id[shard_id]
-        completed[shard_id] = (data, elapsed, False)
-        stats.shards_run += 1
-        stats.busy_seconds += elapsed
-        if checkpoint_dir:
-            write_checkpoint(checkpoint_dir, spec, data, elapsed)
+        if state is not None:
+            state.flush()
+        if compact and state is not None:
+            state.compact(keep=ids)
+
+        stats.wall_seconds = time.perf_counter() - start
+        if state is not None:
+            stats.corrupt_discarded = state.corrupt_discarded
         if metrics is not None:
-            _absorb_shard_metrics(metrics, spec, data, elapsed)
-        if progress is not None:
-            progress(f"machine {spec.machine}: shard {shard_id} "
-                     f"done in {elapsed:.2f}s")
+            metrics.observe("runner.wall", stats.wall_seconds)
+            metrics.observe("runner.busy", stats.busy_seconds)
+            metrics.incr("runner.pool_utilization_percent",
+                         int(round(100 * stats.pool_utilization)))
+            if state is not None:
+                metrics.incr("runner.store.bytes_on_disk",
+                             state.bytes_on_disk())
 
-    if pending:
-        if jobs == 1 or len(pending) == 1:
-            for spec in pending:
-                finish(*_run_shard(spec))
-        else:
-            workers = min(jobs, len(pending))
-            with multiprocessing.Pool(processes=workers) as pool:
-                for shard_id, data, elapsed in pool.imap_unordered(
-                        _run_shard, pending):
-                    finish(shard_id, data, elapsed)
-
-    stats.wall_seconds = time.perf_counter() - start
-    if metrics is not None:
-        metrics.observe("runner.wall", stats.wall_seconds)
-        metrics.observe("runner.busy", stats.busy_seconds)
-        metrics.incr("runner.pool_utilization_percent",
-                     int(round(100 * stats.pool_utilization)))
-
-    outcomes: List[ShardOutcome] = []
-    for spec in shards:
-        data, elapsed, from_checkpoint = completed[spec.shard_id]
-        outcomes.append(ShardOutcome(
-            spec=spec, result=result_from_data(data),
-            elapsed_seconds=elapsed, from_checkpoint=from_checkpoint))
-    return outcomes
+        outcomes: List[ShardOutcome] = []
+        for spec in shards:
+            data, elapsed, from_checkpoint = buffered[spec.shard_id]
+            if data is None:
+                assert state is not None
+                entry = state.get(spec)
+                if entry is None:   # store damaged between put and join
+                    raise RuntimeError(
+                        f"checkpoint for {spec.shard_id} vanished from "
+                        f"the {state.backend} store before the join")
+                data = entry.result
+            outcome = ShardOutcome(
+                spec=spec, result=result_from_data(data),
+                elapsed_seconds=elapsed, from_checkpoint=from_checkpoint)
+            if consume is not None:
+                consume(outcome)
+            else:
+                outcomes.append(outcome)
+        return outcomes
+    finally:
+        if owns_store and state is not None:
+            state.close()

@@ -11,10 +11,18 @@ stored by name, and nested dataclasses become tagged dictionaries.
 ``result_to_data``/``result_from_data`` dispatch on a ``"type"`` tag so
 the runner can checkpoint heterogeneous grids (miss-free cells, live
 cells and tuning-objective cells) into one results directory.
+
+Persistence itself lives one layer up, in
+:mod:`repro.simulation.store`: this module only defines the payload
+dictionaries and their canonical byte form
+(:func:`canonical_bytes`/:func:`payload_fingerprint`), which every
+storage backend uses to detect corrupt or torn checkpoints.
 """
 
 from __future__ import annotations
 
+import json
+import zlib
 from typing import Dict, List, Optional, Union
 
 from repro.core.hoard import MissSeverity
@@ -28,6 +36,31 @@ from repro.workload.sessions import Period, PeriodKind
 
 #: Anything the runner knows how to checkpoint.
 ShardResult = Union[MissFreeResult, LiveResult, float]
+
+
+def canonical_bytes(data: Dict) -> bytes:
+    """The canonical byte form of a JSON-safe payload dictionary.
+
+    Key order and whitespace are normalized (sorted keys, compact
+    separators) so two payloads that parse equal serialize to the same
+    bytes regardless of which backend -- or which process -- produced
+    them.  Cross-backend equivalence tests and checkpoint fingerprints
+    both compare these bytes.
+    """
+    return json.dumps(data, sort_keys=True,
+                      separators=(",", ":")).encode("utf-8")
+
+
+def payload_fingerprint(data: Dict) -> str:
+    """Stable 8-hex-digit digest of a payload (crc32 of canonical bytes).
+
+    Storage backends record this next to each checkpoint and verify it
+    on read, so a torn write or bit rot is *detected* and the cell
+    recomputed instead of silently poisoning a resumed sweep.  crc32
+    (not the builtin ``hash``) keeps the digest identical across
+    processes -- the RL003 incident class.
+    """
+    return f"{zlib.crc32(canonical_bytes(data)) & 0xFFFFFFFF:08x}"
 
 
 # ----------------------------------------------------------------------

@@ -1,0 +1,599 @@
+"""Pluggable checkpoint state stores for the experiment runner.
+
+The PR 3 runner persisted one JSON file per grid cell.  That layout is
+ideal for a handful of cells (human-inspectable, trivially atomic) and
+wrong for fleet-scale grids -- a (10^4 users x seeds x periods) sweep
+would create tens of thousands of files and pay a directory operation
+per cell.  This module separates the *stable store interface* from the
+interchangeable *persistence mechanisms* behind it:
+
+* :class:`StateStore` -- the abstract interface: ``open`` / ``put`` /
+  ``get`` / ``iter_completed`` / ``compact`` / ``close``, keyed by
+  :attr:`ShardSpec.shard_id`.  Every entry carries a schema version and
+  a payload fingerprint (:func:`repro.simulation.serde.payload_fingerprint`)
+  so corruption is detected, counted and recomputed -- never silently
+  reused.
+* :class:`JsonDirStore` -- one ``<shard_id>.json`` per cell, written
+  atomically (temp file + ``os.replace``).  Byte-compatible with the
+  PR 3 layout: checkpoints written before this module existed resume
+  cleanly, and files it writes are identical to the old ones.
+* :class:`SqliteStore` -- a single ``checkpoints.sqlite`` file in WAL
+  mode with batched transactional writes.  O(1) files on disk for any
+  grid size, crash-safe (a kill mid-transaction rolls back cleanly on
+  the next open), and a torn/truncated database file is quarantined
+  and rebuilt instead of crashing the sweep.
+
+Both backends maintain the same counters (``writes``,
+``batched_txns``, ``corrupt_discarded``, ``compacted``) and mirror
+them into the ``runner.store.*`` metric family when given a
+:class:`~repro.observability.Metrics`.  ``docs/state-store.md`` holds
+the backend matrix and the crash-safety guarantees;
+``tests/simulation/test_store_differential.py`` proves the backends
+byte-equivalent on randomized grids.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+import os
+import sqlite3
+import tempfile
+from dataclasses import dataclass, field
+from typing import (TYPE_CHECKING, ClassVar, Dict, Iterable, Iterator, List,
+                    Optional, Set, Tuple)
+
+from repro.observability import Metrics
+from repro.simulation.serde import payload_fingerprint
+
+if TYPE_CHECKING:
+    from repro.simulation.runner import ShardSpec
+
+#: Version of the checkpoint payload schema.  Bump when the payload
+#: shape changes; entries recorded under another version are treated
+#: as stale and recomputed, never reinterpreted.
+SCHEMA_VERSION = 1
+
+#: Backend names accepted by :func:`open_store` and ``--store``.
+BACKENDS: Tuple[str, ...] = ("json", "sqlite")
+
+
+def spec_to_data(spec: "ShardSpec") -> Dict:
+    """JSON-safe dictionary form of a spec (tuples become lists)."""
+    data = dataclasses.asdict(spec)
+    data["parameter_overrides"] = [
+        [name, value] for name, value in spec.parameter_overrides]
+    return data
+
+
+@dataclass
+class CheckpointEntry:
+    """One validated checkpoint, as a backend hands it back."""
+
+    shard_id: str
+    spec_data: Dict
+    result: Dict
+    elapsed_seconds: float
+    schema_version: int = SCHEMA_VERSION
+    fingerprint: str = ""
+
+
+@dataclass
+class CompactionStats:
+    """What one :meth:`StateStore.compact` pass removed."""
+
+    removed_superseded: int = 0
+    removed_corrupt: int = 0
+    removed_stale: int = 0
+    bytes_before: int = 0
+    bytes_after: int = 0
+
+    @property
+    def removed_total(self) -> int:
+        return (self.removed_superseded + self.removed_corrupt +
+                self.removed_stale)
+
+
+class StateStore:
+    """Abstract checkpoint store, keyed by ``ShardSpec.shard_id``.
+
+    Subclasses implement the persistence mechanism; this base class
+    owns the counters and their mirror into the ``runner.store.*``
+    metric family, so every backend reports identically under
+    ``--metrics``.
+    """
+
+    backend: ClassVar[str] = "abstract"
+
+    def __init__(self, metrics: Optional[Metrics] = None) -> None:
+        self.metrics = metrics
+        self.writes = 0
+        self.batched_txns = 0
+        self.corrupt_discarded = 0
+        self.compacted = 0
+
+    # -- lifecycle -----------------------------------------------------
+    def open(self) -> "StateStore":
+        raise NotImplementedError
+
+    def close(self) -> None:
+        raise NotImplementedError
+
+    def __enter__(self) -> "StateStore":
+        return self.open()
+
+    def __exit__(self, *exc: object) -> None:
+        self.close()
+
+    # -- the stable interface ------------------------------------------
+    def put(self, spec: "ShardSpec", result_data: Dict,
+            elapsed_seconds: float) -> None:
+        """Persist one completed cell (replacing any earlier entry)."""
+        raise NotImplementedError
+
+    def get(self, spec: "ShardSpec") -> Optional[CheckpointEntry]:
+        """Reload one cell, or None if missing or unusable.
+
+        An entry is trusted only when it parses, carries the current
+        :data:`SCHEMA_VERSION`, matches its recorded payload
+        fingerprint, and records exactly the spec being asked for.
+        Anything present but unusable counts toward
+        :attr:`corrupt_discarded` -- a resumed sweep reports how many
+        checkpoints it threw away instead of dropping them silently.
+        """
+        raise NotImplementedError
+
+    def iter_completed(self) -> Iterator[CheckpointEntry]:
+        """Every valid entry in the store, in shard-id order."""
+        raise NotImplementedError
+
+    def compact(self,
+                keep: Optional[Iterable[str]] = None) -> CompactionStats:
+        """Garbage-collect superseded, corrupt and stale entries.
+
+        *keep*, when given, is the set of shard ids the current grid
+        still wants; entries outside it are stale leftovers from a
+        differently-shaped sweep and are removed.  After compaction
+        every kept entry still loads -- ``--resume`` restores exactly
+        the same cells, from less disk.
+        """
+        raise NotImplementedError
+
+    def flush(self) -> None:
+        """Make every buffered write durable (no-op unless batching)."""
+
+    def bytes_on_disk(self) -> int:
+        """Bytes the store currently occupies on disk."""
+        raise NotImplementedError
+
+    # -- shared accounting ---------------------------------------------
+    def _count_write(self) -> None:
+        self.writes += 1
+        if self.metrics is not None:
+            self.metrics.incr("runner.store.writes")
+
+    def _count_txn(self) -> None:
+        self.batched_txns += 1
+        if self.metrics is not None:
+            self.metrics.incr("runner.store.batched_txns")
+
+    def _count_corrupt(self, discarded: int = 1) -> None:
+        self.corrupt_discarded += discarded
+        if self.metrics is not None:
+            self.metrics.incr("runner.store.corrupt_discarded", discarded)
+
+    def _count_compacted(self, removed: int) -> None:
+        self.compacted += removed
+        if self.metrics is not None:
+            self.metrics.incr("runner.store.compacted", removed)
+
+    def _validate(self, entry: CheckpointEntry,
+                  spec: Optional["ShardSpec"]) -> bool:
+        """Shared trust checks; counts (but does not raise on) failures."""
+        if entry.schema_version != SCHEMA_VERSION:
+            self._count_corrupt()
+            return False
+        if not isinstance(entry.result, dict):
+            self._count_corrupt()
+            return False
+        if entry.fingerprint and \
+                payload_fingerprint(entry.result) != entry.fingerprint:
+            self._count_corrupt()
+            return False
+        if spec is not None and entry.spec_data != spec_to_data(spec):
+            self._count_corrupt()
+            return False
+        return True
+
+
+# ----------------------------------------------------------------------
+# JSON directory backend (PR 3 byte-compatible)
+# ----------------------------------------------------------------------
+class JsonDirStore(StateStore):
+    """One atomically-written ``<shard_id>.json`` file per cell.
+
+    The on-disk bytes are identical to the PR 3 runner's checkpoints
+    (same payload keys, same ``json.dump`` formatting), so old result
+    directories resume under this store and new ones resume under old
+    code.  The payload therefore carries no stored fingerprint; the
+    parse + format + spec-match checks stand in for it, exactly as
+    before -- except that discards are now *counted*.
+    """
+
+    backend = "json"
+
+    def __init__(self, root: str,
+                 metrics: Optional[Metrics] = None) -> None:
+        super().__init__(metrics)
+        self.root = root
+
+    def open(self) -> "JsonDirStore":
+        os.makedirs(self.root, exist_ok=True)
+        return self
+
+    def close(self) -> None:
+        pass
+
+    def path_for(self, shard_id: str) -> str:
+        return os.path.join(self.root, shard_id + ".json")
+
+    def put(self, spec: "ShardSpec", result_data: Dict,
+            elapsed_seconds: float) -> None:
+        payload = {
+            "format": SCHEMA_VERSION,
+            "shard_id": spec.shard_id,
+            "spec": spec_to_data(spec),
+            "elapsed_seconds": elapsed_seconds,
+            "result": result_data,
+        }
+        handle, temp = tempfile.mkstemp(dir=self.root,
+                                        prefix=spec.shard_id + ".",
+                                        suffix=".tmp")
+        try:
+            with os.fdopen(handle, "w", encoding="utf-8") as stream:
+                json.dump(payload, stream)
+            os.replace(temp, self.path_for(spec.shard_id))
+        except BaseException:
+            if os.path.exists(temp):
+                os.unlink(temp)
+            raise
+        self._count_write()
+
+    def _read(self, path: str) -> Optional[CheckpointEntry]:
+        """Parse one file; None (counted) when present but unusable."""
+        try:
+            with open(path, "r", encoding="utf-8") as stream:
+                payload = json.load(stream)
+        except FileNotFoundError:
+            return None
+        except (OSError, ValueError):
+            self._count_corrupt()
+            return None
+        if not isinstance(payload, dict) or \
+                not isinstance(payload.get("result"), dict):
+            self._count_corrupt()
+            return None
+        version = payload.get("format")
+        return CheckpointEntry(
+            shard_id=str(payload.get("shard_id",
+                                     os.path.basename(path)[:-5])),
+            spec_data=payload.get("spec") or {},
+            result=payload["result"],
+            elapsed_seconds=float(payload.get("elapsed_seconds", 0.0)),
+            schema_version=version if isinstance(version, int) else -1,
+        )
+
+    def get(self, spec: "ShardSpec") -> Optional[CheckpointEntry]:
+        entry = self._read(self.path_for(spec.shard_id))
+        if entry is None or not self._validate(entry, spec):
+            return None
+        return entry
+
+    def iter_completed(self) -> Iterator[CheckpointEntry]:
+        try:
+            names = sorted(os.listdir(self.root))
+        except OSError:
+            return
+        for name in names:
+            if not name.endswith(".json"):
+                continue
+            entry = self._read(os.path.join(self.root, name))
+            if entry is not None and self._validate(entry, None):
+                yield entry
+
+    def compact(self,
+                keep: Optional[Iterable[str]] = None) -> CompactionStats:
+        stats = CompactionStats(bytes_before=self.bytes_on_disk())
+        wanted = None if keep is None else set(keep)
+        try:
+            names = sorted(os.listdir(self.root))
+        except OSError:
+            names = []
+        for name in names:
+            path = os.path.join(self.root, name)
+            if name.endswith(".tmp"):
+                # Leftover from a kill mid-write: superseded by the
+                # atomic-replace protocol, never referenced again.
+                os.unlink(path)
+                stats.removed_superseded += 1
+                continue
+            if not name.endswith(".json"):
+                continue
+            entry = self._read(path)
+            if entry is None or not self._validate(entry, None):
+                os.unlink(path)
+                stats.removed_corrupt += 1
+            elif wanted is not None and entry.shard_id not in wanted:
+                os.unlink(path)
+                stats.removed_stale += 1
+        stats.bytes_after = self.bytes_on_disk()
+        self._count_compacted(stats.removed_total)
+        return stats
+
+    def bytes_on_disk(self) -> int:
+        total = 0
+        try:
+            names = sorted(os.listdir(self.root))
+        except OSError:
+            return 0
+        for name in names:
+            try:
+                total += os.path.getsize(os.path.join(self.root, name))
+            except OSError:
+                continue
+        return total
+
+
+# ----------------------------------------------------------------------
+# sqlite backend (single file, WAL, batched transactions)
+# ----------------------------------------------------------------------
+class SqliteStore(StateStore):
+    """All checkpoints in one ``checkpoints.sqlite`` file.
+
+    * **WAL mode** -- readers never block the writer, and a kill mid
+      transaction is rolled back by sqlite's recovery on the next
+      open, so the database is never torn by a crash *it* caused.
+    * **Batched transactional writes** -- ``put`` buffers entries and
+      commits them ``batch_size`` at a time in one transaction (one
+      fsync per batch, not per cell).  A crash loses at most the
+      unflushed batch; those cells are simply recomputed on resume.
+    * **Generational rows** -- a re-run cell inserts a new generation
+      instead of updating in place; ``get`` reads the latest.
+      :meth:`compact` deletes superseded generations, corrupt rows and
+      stale shard ids, then truncates the WAL and VACUUMs.
+    * **Torn-file recovery** -- a database file truncated or
+      overwritten by outside forces (the torn-write fixture in
+      ``tests/simulation/test_store_properties.py``) is quarantined as
+      ``<name>.corrupt`` and a fresh store is created: the sweep
+      recomputes instead of crashing.
+    """
+
+    backend = "sqlite"
+
+    FILENAME = "checkpoints.sqlite"
+
+    _SCHEMA = """
+        CREATE TABLE IF NOT EXISTS checkpoints (
+            shard_id        TEXT    NOT NULL,
+            generation      INTEGER NOT NULL,
+            schema_version  INTEGER NOT NULL,
+            fingerprint     TEXT    NOT NULL,
+            spec            TEXT    NOT NULL,
+            elapsed_seconds REAL    NOT NULL,
+            result          TEXT    NOT NULL,
+            PRIMARY KEY (shard_id, generation)
+        )
+    """
+
+    #: Latest generation per shard id.
+    _LATEST = ("SELECT shard_id, generation, schema_version, fingerprint,"
+               " spec, elapsed_seconds, result FROM checkpoints"
+               " WHERE (shard_id, generation) IN"
+               " (SELECT shard_id, MAX(generation) FROM checkpoints"
+               "  GROUP BY shard_id)")
+
+    def __init__(self, root: str, metrics: Optional[Metrics] = None,
+                 batch_size: int = 32) -> None:
+        super().__init__(metrics)
+        if batch_size < 1:
+            raise ValueError("batch_size must be >= 1")
+        self.root = root
+        self.path = os.path.join(root, self.FILENAME)
+        self.batch_size = batch_size
+        self._conn: Optional[sqlite3.Connection] = None
+        self._pending: List[Tuple[str, str, str, float, str]] = []
+
+    # -- lifecycle -----------------------------------------------------
+    def open(self) -> "SqliteStore":
+        os.makedirs(self.root, exist_ok=True)
+        try:
+            self._connect()
+        except sqlite3.DatabaseError:
+            self._quarantine()
+            self._connect()
+        return self
+
+    def _connect(self) -> None:
+        conn = sqlite3.connect(self.path)
+        try:
+            conn.execute("PRAGMA journal_mode=WAL")
+            conn.execute("PRAGMA synchronous=NORMAL")
+            conn.execute(self._SCHEMA)
+            conn.commit()
+        except sqlite3.DatabaseError:
+            conn.close()
+            raise
+        self._conn = conn
+
+    def _quarantine(self) -> None:
+        """Move a torn/overwritten database aside and count the loss.
+
+        Every checkpoint it held is gone, but the sweep keeps running:
+        resume finds an empty store and recomputes.  The damaged file
+        is kept as ``.corrupt`` for post-mortem inspection.
+        """
+        self._conn = None
+        if os.path.exists(self.path):
+            os.replace(self.path, self.path + ".corrupt")
+        for suffix in ("-wal", "-shm"):
+            sidecar = self.path + suffix
+            if os.path.exists(sidecar):
+                os.unlink(sidecar)
+        self._count_corrupt()
+
+    def close(self) -> None:
+        if self._conn is not None:
+            self.flush()
+            self._conn.close()
+            self._conn = None
+
+    def _connection(self) -> sqlite3.Connection:
+        if self._conn is None:
+            raise RuntimeError("SqliteStore is not open")
+        return self._conn
+
+    # -- writes --------------------------------------------------------
+    def put(self, spec: "ShardSpec", result_data: Dict,
+            elapsed_seconds: float) -> None:
+        self._pending.append((
+            spec.shard_id,
+            payload_fingerprint(result_data),
+            json.dumps(spec_to_data(spec), sort_keys=True),
+            elapsed_seconds,
+            json.dumps(result_data),
+        ))
+        self._count_write()
+        if len(self._pending) >= self.batch_size:
+            self.flush()
+
+    def flush(self) -> None:
+        if not self._pending:
+            return
+        conn = self._connection()
+        with conn:   # one transaction per batch
+            for shard_id, fingerprint, spec_json, elapsed, result in \
+                    self._pending:
+                conn.execute(
+                    "INSERT INTO checkpoints (shard_id, generation,"
+                    " schema_version, fingerprint, spec, elapsed_seconds,"
+                    " result) VALUES (?, COALESCE((SELECT MAX(generation)"
+                    " FROM checkpoints WHERE shard_id = ?), 0) + 1,"
+                    " ?, ?, ?, ?, ?)",
+                    (shard_id, shard_id, SCHEMA_VERSION, fingerprint,
+                     spec_json, elapsed, result))
+        self._pending.clear()
+        self._count_txn()
+
+    # -- reads ---------------------------------------------------------
+    def _entry_from_row(self, row: Tuple[str, int, int, str, str, float,
+                                         str]) -> Optional[CheckpointEntry]:
+        shard_id, _, version, fingerprint, spec_json, elapsed, result = row
+        try:
+            spec_data = json.loads(spec_json)
+            result_data = json.loads(result)
+        except ValueError:
+            self._count_corrupt()
+            return None
+        return CheckpointEntry(
+            shard_id=shard_id, spec_data=spec_data, result=result_data,
+            elapsed_seconds=elapsed, schema_version=version,
+            fingerprint=fingerprint)
+
+    def get(self, spec: "ShardSpec") -> Optional[CheckpointEntry]:
+        self.flush()
+        try:
+            row = self._connection().execute(
+                self._LATEST + " AND shard_id = ?",
+                (spec.shard_id,)).fetchone()
+        except sqlite3.DatabaseError:
+            self._quarantine()
+            self._connect()
+            return None
+        if row is None:
+            return None
+        entry = self._entry_from_row(row)
+        if entry is None or not self._validate(entry, spec):
+            return None
+        return entry
+
+    def iter_completed(self) -> Iterator[CheckpointEntry]:
+        self.flush()
+        try:
+            rows = self._connection().execute(
+                self._LATEST + " ORDER BY shard_id").fetchall()
+        except sqlite3.DatabaseError:
+            self._quarantine()
+            self._connect()
+            return
+        for row in rows:
+            entry = self._entry_from_row(row)
+            if entry is not None and self._validate(entry, None):
+                yield entry
+
+    # -- maintenance ---------------------------------------------------
+    def compact(self,
+                keep: Optional[Iterable[str]] = None) -> CompactionStats:
+        self.flush()
+        stats = CompactionStats(bytes_before=self.bytes_on_disk())
+        conn = self._connection()
+        with conn:
+            stats.removed_superseded = conn.execute(
+                "DELETE FROM checkpoints WHERE (shard_id, generation)"
+                " NOT IN (SELECT shard_id, MAX(generation)"
+                " FROM checkpoints GROUP BY shard_id)").rowcount
+            # Rows the read path would refuse: wrong schema version or
+            # a payload that no longer matches its fingerprint.
+            bad: List[str] = []
+            for row in conn.execute(self._LATEST).fetchall():
+                entry = self._entry_from_row(row)
+                if entry is None or entry.schema_version != SCHEMA_VERSION \
+                        or not isinstance(entry.result, dict) \
+                        or payload_fingerprint(entry.result) != \
+                        entry.fingerprint:
+                    bad.append(row[0])
+            for shard_id in bad:
+                conn.execute("DELETE FROM checkpoints WHERE shard_id = ?",
+                             (shard_id,))
+            stats.removed_corrupt = len(bad)
+            if keep is not None:
+                wanted = sorted(set(keep))
+                before = conn.execute(
+                    "SELECT COUNT(DISTINCT shard_id)"
+                    " FROM checkpoints").fetchone()[0]
+                placeholders = ",".join("?" for _ in wanted) or "''"
+                conn.execute(
+                    f"DELETE FROM checkpoints WHERE shard_id NOT IN"
+                    f" ({placeholders})", wanted)
+                after = conn.execute(
+                    "SELECT COUNT(DISTINCT shard_id)"
+                    " FROM checkpoints").fetchone()[0]
+                stats.removed_stale = before - after
+        conn.execute("VACUUM")
+        conn.execute("PRAGMA wal_checkpoint(TRUNCATE)")
+        stats.bytes_after = self.bytes_on_disk()
+        self._count_compacted(stats.removed_total)
+        return stats
+
+    def bytes_on_disk(self) -> int:
+        total = 0
+        for path in (self.path, self.path + "-wal", self.path + "-shm"):
+            try:
+                total += os.path.getsize(path)
+            except OSError:
+                continue
+        return total
+
+
+# ----------------------------------------------------------------------
+# factory
+# ----------------------------------------------------------------------
+def open_store(backend: str, root: str,
+               metrics: Optional[Metrics] = None) -> StateStore:
+    """Open (creating if needed) the *backend* store rooted at *root*."""
+    if backend == "json":
+        return JsonDirStore(root, metrics=metrics).open()
+    if backend == "sqlite":
+        return SqliteStore(root, metrics=metrics).open()
+    raise ValueError(
+        f"unknown checkpoint store backend {backend!r}; "
+        f"expected one of {', '.join(BACKENDS)}")

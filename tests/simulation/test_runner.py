@@ -227,3 +227,91 @@ class TestRunShards:
         run_shards(small_grid(), jobs=1, checkpoint_dir=str(tmp_path),
                    resume=True, progress=messages.append)
         assert all("restored from checkpoint" in m for m in messages)
+
+
+class TestRunShardsStore:
+    """run_shards against the pluggable state stores (docs/state-store.md)."""
+
+    def test_corrupt_checkpoint_counted_in_stats_and_metrics(self, tmp_path):
+        """A corrupt checkpoint is recomputed *and reported*, never
+        silently dropped (runner.store.corrupt_discarded)."""
+        shards = small_grid()
+        run_shards(shards, jobs=1, checkpoint_dir=str(tmp_path))
+        with open(checkpoint_path(str(tmp_path), shards[0]), "w") as stream:
+            stream.write('{"format": 1, "result":')   # torn write
+        metrics = Metrics()
+        stats = RunStats()
+        run_shards(shards, jobs=1, checkpoint_dir=str(tmp_path),
+                   resume=True, stats=stats, metrics=metrics)
+        assert stats.corrupt_discarded == 1
+        assert stats.shards_run == 1
+        assert stats.shards_from_checkpoint == len(shards) - 1
+        snapshot = metrics.snapshot()
+        assert snapshot["runner.store.corrupt_discarded"] == 1
+        assert snapshot["runner.store.writes"] == 1
+        assert snapshot["runner.store.bytes_on_disk"] > 0
+
+    def test_sqlite_store_resumes(self, tmp_path):
+        shards = small_grid()
+        first = run_shards(shards, jobs=1, checkpoint_dir=str(tmp_path),
+                           store="sqlite")
+        assert os.path.exists(str(tmp_path / "checkpoints.sqlite"))
+        stats = RunStats()
+        second = run_shards(shards, jobs=1, checkpoint_dir=str(tmp_path),
+                            store="sqlite", resume=True, stats=stats)
+        assert stats.shards_from_checkpoint == len(shards)
+        assert stats.shards_run == 0
+        assert [comparable_data(o.result) for o in first] == \
+            [comparable_data(o.result) for o in second]
+
+    def test_unknown_store_rejected(self, tmp_path):
+        with pytest.raises(ValueError, match="unknown checkpoint store"):
+            run_shards(small_grid(), jobs=1, checkpoint_dir=str(tmp_path),
+                       store="parquet")
+
+    def test_consume_streams_in_grid_order(self, tmp_path):
+        shards = small_grid()
+        plain = run_shards(shards, jobs=1)
+        streamed = []
+        returned = run_shards(shards, jobs=2, checkpoint_dir=str(tmp_path),
+                              store="sqlite", consume=streamed.append)
+        assert returned == []
+        assert [o.spec.shard_id for o in streamed] == \
+            [s.shard_id for s in shards]
+        assert [comparable_data(o.result) for o in streamed] == \
+            [comparable_data(o.result) for o in plain]
+
+    def test_consume_without_store_buffers_in_memory(self):
+        shards = small_grid()
+        streamed = []
+        returned = run_shards(shards, jobs=1, consume=streamed.append)
+        assert returned == []
+        assert [o.spec.shard_id for o in streamed] == \
+            [s.shard_id for s in shards]
+
+    def test_compact_keeps_resume_working(self, tmp_path):
+        shards = small_grid()
+        run_shards(shards, jobs=1, checkpoint_dir=str(tmp_path),
+                   compact=True)
+        assert sorted(os.listdir(tmp_path)) == \
+            sorted(s.shard_id + ".json" for s in shards)
+        stats = RunStats()
+        run_shards(shards, jobs=1, checkpoint_dir=str(tmp_path),
+                   resume=True, stats=stats)
+        assert stats.shards_from_checkpoint == len(shards)
+
+    def test_objective_shard_round_trips_through_sqlite(self, tmp_path):
+        """The objective payload (a bare float) survives the sqlite
+        round-trip like the structured results do."""
+        from repro.simulation import SIM_PARAMETERS
+        spec = spec_for_parameters(
+            ShardSpec("objective", window_seconds=DAY, **SMALL),
+            SIM_PARAMETERS)
+        (first,) = run_shards([spec], jobs=1,
+                              checkpoint_dir=str(tmp_path), store="sqlite")
+        stats = RunStats()
+        (second,) = run_shards([spec], jobs=1, checkpoint_dir=str(tmp_path),
+                               store="sqlite", resume=True, stats=stats)
+        assert stats.shards_from_checkpoint == 1
+        assert second.result == first.result
+        assert isinstance(second.result, float)

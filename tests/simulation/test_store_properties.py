@@ -1,0 +1,235 @@
+"""Property: the sqlite backend survives kills, torn writes and
+mid-transaction crashes, and a resumed sweep always equals the serial
+ground truth.
+
+This extends the PR 3 kill/resume property (see
+``test_runner_properties.py``, which exercises the json-dir layout) to
+:class:`SqliteStore`: hypothesis picks which cells a simulated crash
+destroyed -- committed rows deleted, an uncommitted batch rolled back,
+a WAL smeared with garbage -- and the resume must recompute exactly
+the lost cells and nothing else.  A separate torn-write fixture
+truncates the database file itself and asserts quarantine-and-recompute
+instead of a crash.
+"""
+
+import json
+import os
+import shutil
+import sqlite3
+import tempfile
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.simulation.runner import (
+    DAY,
+    WEEK,
+    RunStats,
+    ShardSpec,
+    run_shards,
+)
+from repro.simulation.serde import comparable_data, result_to_data
+from repro.simulation.store import SqliteStore
+
+GRID = [
+    ShardSpec("missfree", "E", 1, 5.0, window_seconds=DAY),
+    ShardSpec("missfree", "E", 1, 5.0, window_seconds=WEEK),
+    ShardSpec("live", "E", 1, 5.0),
+]
+
+
+@pytest.fixture(scope="module")
+def serial():
+    """The serial, storeless ground truth, computed once."""
+    outcomes = run_shards(GRID, jobs=1)
+    return ([comparable_data(o.result) for o in outcomes],
+            [result_to_data(o.result) for o in outcomes])
+
+
+@pytest.fixture(scope="module")
+def baseline(serial):
+    return serial[0]
+
+
+def seeded_store_dir(jobs=1):
+    """A checkpoint dir holding one full sqlite-backed sweep."""
+    root = tempfile.mkdtemp(prefix="store-prop-")
+    run_shards(GRID, jobs=jobs, checkpoint_dir=root, store="sqlite")
+    return root
+
+
+def delete_rows(root, shard_ids):
+    """What a kill looks like after the fact: those cells' commits
+    never happened."""
+    conn = sqlite3.connect(os.path.join(root, SqliteStore.FILENAME))
+    with conn:
+        for shard_id in shard_ids:
+            conn.execute("DELETE FROM checkpoints WHERE shard_id = ?",
+                         (shard_id,))
+    conn.close()
+
+
+@settings(max_examples=4, deadline=None,
+          suppress_health_check=[HealthCheck.function_scoped_fixture])
+@given(jobs=st.integers(min_value=1, max_value=3),
+       killed=st.sets(st.integers(min_value=0, max_value=len(GRID) - 1)),
+       tampered=st.sets(st.integers(min_value=0, max_value=len(GRID) - 1)),
+       smear_wal=st.booleans())
+def test_sqlite_kill_and_resume_matches_serial(baseline, jobs, killed,
+                                               tampered, smear_wal):
+    root = tempfile.mkdtemp(prefix="store-prop-")
+    try:
+        # 1. A full sqlite-backed sweep at this worker count matches
+        #    the serial storeless path.
+        outcomes = run_shards(GRID, jobs=jobs, checkpoint_dir=root,
+                              store="sqlite")
+        assert [comparable_data(o.result) for o in outcomes] == baseline
+
+        # 2. Simulate the crash: some cells' transactions never
+        #    committed, some rows were tampered with after the fact
+        #    (fingerprint mismatch), and garbage may trail the WAL --
+        #    sqlite must ignore frames that fail its checksums.
+        tampered = tampered - killed
+        delete_rows(root, [GRID[i].shard_id for i in killed])
+        if tampered:
+            conn = sqlite3.connect(os.path.join(root, SqliteStore.FILENAME))
+            with conn:
+                for index in tampered:
+                    conn.execute(
+                        "UPDATE checkpoints SET result = ?"
+                        " WHERE shard_id = ?",
+                        (json.dumps({"tampered": True}),
+                         GRID[index].shard_id))
+            conn.close()
+        if smear_wal:
+            with open(os.path.join(root, SqliteStore.FILENAME) + "-wal",
+                      "ab") as stream:
+                stream.write(b"\xde\xad\xbe\xef" * 64)
+
+        # 3. Resume recomputes exactly the lost and distrusted cells...
+        stats = RunStats()
+        resumed = run_shards(GRID, jobs=jobs, checkpoint_dir=root,
+                             resume=True, store="sqlite", stats=stats)
+        assert stats.shards_run == len(killed) + len(tampered)
+        assert stats.shards_from_checkpoint == \
+            len(GRID) - len(killed) - len(tampered)
+        assert stats.corrupt_discarded == len(tampered)
+
+        # 4. ...and still matches the serial ground truth everywhere.
+        assert [comparable_data(o.result) for o in resumed] == baseline
+    finally:
+        shutil.rmtree(root, ignore_errors=True)
+
+
+def test_mid_transaction_kill_loses_only_the_open_batch(baseline):
+    """A crash inside a write transaction rolls back cleanly.
+
+    The dying process left an explicit transaction open with every
+    cell's row uncommitted; sqlite's recovery must roll it back on the
+    next open, and the resume recomputes everything -- no partial
+    batch is ever trusted.
+    """
+    root = seeded_store_dir()
+    try:
+        path = os.path.join(root, SqliteStore.FILENAME)
+        conn = sqlite3.connect(path)
+        conn.execute("PRAGMA journal_mode=WAL")
+        conn.execute("BEGIN")
+        conn.execute("DELETE FROM checkpoints")
+        # The deletion is visible inside the transaction...
+        assert conn.execute(
+            "SELECT COUNT(*) FROM checkpoints").fetchone()[0] == 0
+        # ...but the "process" dies before COMMIT.
+        conn.close()
+
+        stats = RunStats()
+        resumed = run_shards(GRID, jobs=1, checkpoint_dir=root,
+                             resume=True, store="sqlite", stats=stats)
+        # Rollback preserved every committed row: nothing recomputed.
+        assert stats.shards_run == 0
+        assert stats.shards_from_checkpoint == len(GRID)
+        assert [comparable_data(o.result) for o in resumed] == baseline
+    finally:
+        shutil.rmtree(root, ignore_errors=True)
+
+
+def test_unflushed_batch_is_lost_not_torn(serial):
+    """Cells buffered but never flushed simply recompute on resume.
+
+    With a batch size larger than the grid, every ``put`` stays
+    buffered in the dying process's memory; the crash (modeled by
+    dropping the buffer and the raw connection) must leave an empty
+    but *healthy* store behind -- resume recomputes all cells rather
+    than crashing or trusting a partial batch.
+    """
+    baseline, full_data = serial
+    root = tempfile.mkdtemp(prefix="store-prop-")
+    try:
+        store = SqliteStore(root, batch_size=100).open()
+        for spec, data in zip(GRID, full_data):
+            store.put(spec, data, elapsed_seconds=0.0)
+        assert store.batched_txns == 0   # nothing committed yet
+        store._pending.clear()           # the crash
+        store._conn.close()
+
+        stats = RunStats()
+        resumed = run_shards(GRID, jobs=1, checkpoint_dir=root,
+                             resume=True, store="sqlite", stats=stats)
+        assert stats.shards_run == len(GRID)
+        assert stats.shards_from_checkpoint == 0
+        assert stats.corrupt_discarded == 0
+        assert [comparable_data(o.result) for o in resumed] == baseline
+    finally:
+        shutil.rmtree(root, ignore_errors=True)
+
+
+@pytest.mark.parametrize("torn", ["truncated", "overwritten"])
+def test_torn_database_file_recovers_gracefully(baseline, torn):
+    """A torn main database file quarantines and recomputes.
+
+    Truncation and garbage overwrite are what an unclean unmount or a
+    half-synced copy leave behind; neither may crash the sweep, and
+    the damage must be *reported* through ``corrupt_discarded``.
+    """
+    root = seeded_store_dir()
+    try:
+        path = os.path.join(root, SqliteStore.FILENAME)
+        for suffix in ("-wal", "-shm"):
+            if os.path.exists(path + suffix):
+                os.unlink(path + suffix)
+        if torn == "truncated":
+            with open(path, "r+b") as stream:
+                stream.truncate(100)
+        else:
+            with open(path, "wb") as stream:
+                stream.write(b"this is not a database\x00" * 40)
+
+        stats = RunStats()
+        resumed = run_shards(GRID, jobs=1, checkpoint_dir=root,
+                             resume=True, store="sqlite", stats=stats)
+        assert stats.shards_run == len(GRID)
+        assert stats.corrupt_discarded == 1
+        assert [comparable_data(o.result) for o in resumed] == baseline
+        # The damaged file is preserved for post-mortem inspection.
+        assert os.path.exists(path + ".corrupt")
+    finally:
+        shutil.rmtree(root, ignore_errors=True)
+
+
+def test_compact_then_resume_restores_every_cell(baseline):
+    """Compaction never costs a cell: after ``compact`` a resume still
+    restores the whole grid from one O(1)-file store."""
+    root = tempfile.mkdtemp(prefix="store-prop-")
+    try:
+        run_shards(GRID, jobs=2, checkpoint_dir=root, store="sqlite",
+                   compact=True)
+        assert sorted(os.listdir(root)) == [SqliteStore.FILENAME]
+        stats = RunStats()
+        resumed = run_shards(GRID, jobs=1, checkpoint_dir=root,
+                             resume=True, store="sqlite", stats=stats)
+        assert stats.shards_run == 0
+        assert stats.shards_from_checkpoint == len(GRID)
+        assert [comparable_data(o.result) for o in resumed] == baseline
+    finally:
+        shutil.rmtree(root, ignore_errors=True)
