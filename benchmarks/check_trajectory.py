@@ -6,13 +6,18 @@ Usage::
 
 ``benchmarks/trajectory.json`` pins, per benchmark, the loosest bounds
 the project is willing to accept on a cold CI runner:
-``min_throughput_per_second``, ``max_wall_seconds`` and
-``max_peak_rss_bytes`` (any subset).  Records missing a trajectory
-entry pass with a note (new benchmarks ratchet in by being added to
-the trajectory); trajectory entries marked ``"required": true`` fail
-the gate when their record was never produced.  Bounds are meant to
-catch order-of-magnitude regressions, not run-to-run noise -- keep
-them generous and tighten deliberately.
+``min_throughput_per_second``, ``max_wall_seconds``,
+``max_peak_rss_bytes`` and ``min_speedup_vs_seed`` (any subset).
+Records missing a trajectory entry pass with a note (new benchmarks
+ratchet in by being added to the trajectory); trajectory entries
+marked ``"required": true`` fail the gate when their record was never
+produced -- a benchmark that crashed before writing its record must
+fail CI, not print a skip line.  Speedup bounds compare ratios
+measured within one run, so they are noise-resistant, but the smoke
+traces are too short for stable ratios: ``min_speedup_vs_seed`` is
+not enforced against records stamped ``"smoke": true``.  Bounds are
+meant to catch order-of-magnitude regressions, not run-to-run noise
+-- keep them generous and tighten deliberately.
 """
 
 import json
@@ -53,6 +58,15 @@ def check(record, bounds):
     if cap is not None and rss > cap:
         yield (f"peak RSS {rss / 2**20:,.0f} MiB above trajectory "
                f"maximum {cap / 2**20:,.0f} MiB")
+    floor = bounds.get("min_speedup_vs_seed")
+    if floor is not None and not record.get("smoke"):
+        speedup = record.get("speedup_vs_seed")
+        if speedup is None:
+            yield ("record carries no speedup_vs_seed measurement "
+                   "but the trajectory bounds one")
+        elif speedup < floor:
+            yield (f"speedup {speedup:.1f}x over seed mode below "
+                   f"trajectory minimum {floor:.1f}x")
 
 
 def main(argv):

@@ -1,15 +1,28 @@
 """Reference-ingestion throughput of the correlator hot path.
 
-The seed implementation rescanned every file it had ever seen on each
-open (the lookback index was never pruned) and recomputed every
-neighbor mean on each replacement decision.  The performance layer
-bounds per-open cost by the lookback window M and skips mean scans via
-an incrementally maintained worst-entry bound, so ingest throughput on
-a long trace with a growing file population must be several times the
-historical behaviour, which remains available through the
-``prune_lookback`` / ``emit_compensation`` parameters.
+Three tiers of the same pipeline, slowest to fastest:
 
-``REPRO_BENCH_SMOKE=1`` shrinks the trace for CI smoke runs.
+* *seed mode* -- the unpruned per-entry path (``prune_lookback=False``,
+  ``columnar_ingest=False``): every open rescans every file ever seen,
+  exactly the historical behaviour;
+* *reference engine* -- per-entry dict/object path with the lookback
+  bounded by M (``columnar_ingest=False``), the oracle the equivalence
+  suite compares against;
+* *columnar engine* (the default) -- the fused arena hot path of
+  :mod:`repro.core.arena`: interned ids, one pass per open that
+  computes distances and updates neighbor rows in place.
+
+The committed trajectory requires the columnar engine to ingest at
+least ten times faster than seed mode on the full trace
+(``min_speedup_vs_seed`` in ``benchmarks/trajectory.json``, up from
+the historical 3x bound), and pins absolute throughput at ten times
+the seed trajectory's committed minimum; the equivalence suite in
+``tests/core/test_equivalence.py`` guarantees the speedup is not
+bought with divergent state.
+
+``REPRO_BENCH_SMOKE=1`` shrinks the trace for CI smoke runs; speedup
+ratios on the tiny smoke trace are noise, so the trajectory's speedup
+bound only applies to non-smoke records.
 """
 
 import os
@@ -22,12 +35,14 @@ from repro.core.parameters import SeerParameters
 
 SMOKE = os.environ.get("REPRO_BENCH_SMOKE") == "1"
 
-#: Events ingested by the optimized correlator.
+#: Events ingested by the columnar and reference engines (full trace).
 FAST_EVENTS = 12_000 if SMOKE else 50_000
-#: The unpruned mode's per-open cost grows with every file ever seen,
-#: so it gets a prefix of the same trace; throughput comparisons use
-#: rates, not wall-clock totals.
-SLOW_EVENTS = 4_000 if SMOKE else 16_000
+#: The unpruned seed mode's per-open cost grows with every file ever
+#: seen, so it gets a prefix of the same trace; throughput comparisons
+#: use rates, not wall-clock totals.  The prefix is long enough that
+#: the seed rate reflects a built-up population -- a short prefix
+#: flatters the seed mode and understates the speedup.
+SLOW_EVENTS = 4_000 if SMOKE else 24_000
 
 PIDS = (1, 2, 3, 4)
 
@@ -92,22 +107,28 @@ def ingest_rate(events, parameters):
 
 def test_ingest_throughput_speedup(output_dir):
     events = synthetic_trace(FAST_EVENTS)
-    fast_params = SeerParameters(**BENCH_PARAMETERS)   # pruning on
-    slow_params = fast_params.with_changes(prune_lookback=False,
-                                           emit_compensation=False)
+    fast_params = SeerParameters(**BENCH_PARAMETERS)   # columnar arena
+    reference_params = fast_params.with_changes(columnar_ingest=False)
+    seed_params = reference_params.with_changes(prune_lookback=False,
+                                                emit_compensation=False)
 
     # Warm-up pass keeps allocator/caching noise out of the comparison.
     ingest_rate(events[:1_000], fast_params)
 
     fast_rate, fast = ingest_rate(events, fast_params)
-    slow_rate, _ = ingest_rate(events[:SLOW_EVENTS], slow_params)
+    reference_rate, reference = ingest_rate(events, reference_params)
+    seed_rate, _ = ingest_rate(events[:SLOW_EVENTS], seed_params)
+    speedup_vs_seed = fast_rate / seed_rate
+    speedup_vs_reference = fast_rate / reference_rate
 
     report = [
         "correlator ingest throughput",
-        f"  events (fast/slow)  : {FAST_EVENTS:,d} / {SLOW_EVENTS:,d}",
-        f"  fast (pruned)       : {fast_rate:,.0f} refs/sec",
-        f"  slow (seed mode)    : {slow_rate:,.0f} refs/sec",
-        f"  speedup             : {fast_rate / slow_rate:.1f}x",
+        f"  events (full/seed)  : {FAST_EVENTS:,d} / {SLOW_EVENTS:,d}",
+        f"  columnar (default)  : {fast_rate:,.0f} refs/sec",
+        f"  reference engine    : {reference_rate:,.0f} refs/sec",
+        f"  seed mode (unpruned): {seed_rate:,.0f} refs/sec",
+        f"  speedup vs seed     : {speedup_vs_seed:.1f}x",
+        f"  speedup vs reference: {speedup_vs_reference:.1f}x",
         f"  files tracked       : {len(fast.known_files()):,d}",
         f"  entries pruned      : "
         f"{fast.metrics.counter('distance.pruned_entries'):,d}",
@@ -118,14 +139,25 @@ def test_ingest_throughput_speedup(output_dir):
     print("\n".join(report))
     write_record(output_dir, "correlator_ingest",
                  FAST_EVENTS / fast_rate, FAST_EVENTS,
-                 extra={"speedup_vs_seed": round(fast_rate / slow_rate, 2)})
+                 extra={"speedup_vs_seed": round(speedup_vs_seed, 2),
+                        "speedup_vs_reference":
+                            round(speedup_vs_reference, 2),
+                        "reference_throughput_per_second":
+                            round(reference_rate, 1),
+                        "seed_throughput_per_second": round(seed_rate, 1)})
 
     assert fast.references_processed == FAST_EVENTS
-    # The unbounded scan's cost grows with the slow prefix's file
-    # population, which the smoke trace is too short to build up; the
-    # smoke run only guards against the pruned path being a regression.
-    required = 1.0 if SMOKE else 3.0
-    assert fast_rate >= required * slow_rate
+    # Both engines ingested the same trace; identical state is the
+    # equivalence suite's job, but the scoring totals are a one-line
+    # smoke check that the benchmark measured comparable work.
+    assert fast.metrics.counter("correlator.distances_ingested") == \
+        reference.metrics.counter("correlator.distances_ingested")
+    # The smoke trace is too short for ratios to be stable; CI's
+    # trajectory gate also ignores speedup_vs_seed on smoke records.
+    if not SMOKE:
+        assert speedup_vs_seed >= 10.0
+        assert speedup_vs_reference >= 1.5
+        assert reference_rate >= 3.0 * seed_rate
 
 
 def test_pruned_ingestion_equivalent_on_prefix():

@@ -8,6 +8,12 @@ clustering with external-information adjustment, and the
 whole-projects-only hoard manager with miss accounting.
 """
 
+from repro.core.arena import (
+    ArenaStore,
+    ArenaTable,
+    ColumnarEngine,
+    NeighborArena,
+)
 from repro.core.clustering import (
     ClusterSet,
     Relation,
@@ -34,11 +40,17 @@ from repro.core.hoard import (
 )
 from repro.core.neighbors import NeighborStore, NeighborTable
 from repro.core.parameters import DEFAULT_PARAMETERS, SeerParameters
+from repro.core.recluster import IncrementalClusterer
 from repro.core.seer import Seer
 
 __all__ = [
     "Action",
+    "ArenaStore",
+    "ArenaTable",
     "ClusterSet",
+    "ColumnarEngine",
+    "IncrementalClusterer",
+    "NeighborArena",
     "Correlator",
     "DEFAULT_PARAMETERS",
     "DistanceSummary",

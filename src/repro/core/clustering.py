@@ -89,22 +89,35 @@ class ClusterSet:
     def files(self) -> Set[str]:
         return set(self._membership)
 
-    def deduplicate(self) -> None:
+    def deduplicate(self) -> Dict[int, int]:
         """Drop clusters whose member sets duplicate an earlier one.
 
         Mutual phase-2 overlap of two clusters can leave them with
         identical contents; one copy carries all the information.
+        Returns the applied id remapping (dropped id -> surviving id).
+
+        Membership redirection follows remap *chains*: if the cluster
+        recorded as a key's survivor has itself been dropped in this
+        pass (chained duplicates), members are pointed at its ultimate
+        survivor, never at a deleted id -- ``clusters_of`` and
+        ``project_of`` results always reference live clusters.
         """
-        seen = {}
+        seen: Dict[FrozenSet[str], int] = {}
+        remap: Dict[int, int] = {}
         for cluster_id in sorted(self._clusters):
             key = frozenset(self._clusters[cluster_id])
-            if key in seen:
-                for member in self._clusters[cluster_id]:
-                    self._membership[member].discard(cluster_id)
-                    self._membership[member].add(seen[key])
-                del self._clusters[cluster_id]
-            else:
+            survivor = seen.get(key)
+            if survivor is None:
                 seen[key] = cluster_id
+                continue
+            while survivor in remap:     # chase chained duplicates
+                survivor = remap[survivor]
+            remap[cluster_id] = survivor
+            for member in self._clusters[cluster_id]:
+                self._membership[member].discard(cluster_id)
+                self._membership[member].add(survivor)
+            del self._clusters[cluster_id]
+        return remap
 
     def same_cluster(self, file_a: str, file_b: str) -> bool:
         """True if the two files share at least one cluster."""
@@ -209,7 +222,16 @@ class SharedNeighborClustering:
             return count / self._denominator(file_a, file_b)
         return count
 
-    def _examined_pairs(self) -> List[Tuple[str, str]]:
+    @property
+    def relation_strength(self) -> Dict[Tuple[str, str], float]:
+        """Oriented relation-pair strengths (both orientations present).
+
+        Exposed for the incremental reclusterer, which must replay
+        relation pairs in exactly this structure's order.
+        """
+        return self._relation_strength
+
+    def examined_pairs(self) -> List[Tuple[str, str]]:
         """Ordered (from, to) pairs the algorithm will test."""
         pairs: List[Tuple[str, str]] = []
         seen: Set[Tuple[str, str]] = set()
@@ -251,7 +273,7 @@ class SharedNeighborClustering:
             if root_a != root_b:
                 parent[root_b] = root_a
 
-        pairs = self._examined_pairs()
+        pairs = self.examined_pairs()
         counts = {pair: self.effective_count(*pair) for pair in pairs}
         if self._parameters.normalize_shared_counts:
             near = self._parameters.kn_fraction

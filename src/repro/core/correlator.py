@@ -3,7 +3,7 @@
 The observer feeds classified, absolutized references here.  The
 correlator (paper section 2) maintains:
 
-* one lifetime-distance calculator per process, inherited at fork and
+* one lifetime-distance stream per process, inherited at fork and
   merged back at exit (section 4.7);
 * the bounded per-file neighbor tables (section 3.1.3);
 * non-open reference semantics -- exec/exit as open/close, attribute
@@ -11,20 +11,41 @@ correlator (paper section 2) maintains:
   deletions delayed by a count of total deletions, renames carrying
   identity (section 4.8);
 * recency bookkeeping used by hoard ranking and by the LRU baseline.
+
+The distance/neighbor state lives behind a narrow *engine* interface
+with two implementations selected by ``SeerParameters.columnar_ingest``:
+
+* :class:`_ReferenceEngine` (here): one
+  :class:`LifetimeDistanceCalculator` per process feeding a
+  :class:`NeighborStore` of per-entry ``DistanceSummary`` objects --
+  the straightforward transcription of the paper, kept as the oracle;
+* :class:`~repro.core.arena.ColumnarEngine`: the fused hot path over
+  the interned :class:`~repro.core.arena.NeighborArena`.
+
+Both must produce byte-identical state for any event stream; the
+differential property suite in ``tests/core/test_equivalence.py``
+enforces it.  Event sequencing, recency, delayed deletion and cluster
+building are engine-agnostic and implemented once, here.
 """
 
 from __future__ import annotations
 
 import enum
-from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Set, Tuple
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, List, Optional, Sequence, Set, Tuple, Union
 
+from repro.core.arena import ArenaStore, ColumnarEngine, NeighborArena
 from repro.core.clustering import ClusterSet, Relation, SharedNeighborClustering
 from repro.core.distance import LifetimeDistanceCalculator
 from repro.core.neighbors import NeighborStore
 from repro.core.parameters import DEFAULT_PARAMETERS, SeerParameters
+from repro.core.recluster import IncrementalClusterer
 from repro.fs.paths import directory_distance
 from repro.observability import Metrics
+
+#: Both store implementations expose the same path-level API; consumers
+#: (persistence, hoarding, extensions) treat them interchangeably.
+StoreLike = Union[NeighborStore, ArenaStore]
 
 
 class Action(enum.Enum):
@@ -56,12 +77,16 @@ class ObservedReference:
 
 @dataclass
 class _ProcessStream:
-    """Per-process reference history (section 4.7)."""
+    """Per-process reference metadata (section 4.7).
+
+    The distance state itself lives in the engine, keyed by pid; this
+    record carries only the sequencing facts the correlator needs to
+    drive it (fork lineage, the open exec image, a deferred stat).
+    """
 
     pid: int
     ppid: int
-    calculator: LifetimeDistanceCalculator
-    fork_base: int = 0            # calculator counter at fork time
+    fork_base: int = 0            # engine open counter at fork time
     exec_image: Optional[str] = None
     pending_stat: Optional[str] = None
     pending_stat_time: float = 0.0   # observed time of the pending stat
@@ -74,6 +99,78 @@ class _PendingDeletion:
     deletion_number: int
 
 
+class _ReferenceEngine:
+    """The oracle ingest engine: per-pid calculators over a NeighborStore.
+
+    Distances are materialized as ``(from, to, distance)`` tuples and
+    re-dispatched through ``NeighborStore.observe`` one at a time --
+    exactly the paper's formulation, at per-entry object cost.  The
+    columnar engine must match this path's state bit for bit.
+    """
+
+    def __init__(self, store: NeighborStore, parameters: SeerParameters,
+                 metrics: Metrics) -> None:
+        self._store = store
+        self._parameters = parameters
+        self._metrics = metrics
+        self._calculators: Dict[int, LifetimeDistanceCalculator] = {}
+
+    def _new_calculator(self) -> LifetimeDistanceCalculator:
+        return LifetimeDistanceCalculator(
+            lookback_window=self._parameters.lookback_window,
+            prune=self._parameters.prune_lookback,
+            compensate=self._parameters.emit_compensation,
+            metrics=self._metrics)
+
+    def _calculator(self, pid: int) -> LifetimeDistanceCalculator:
+        calculator = self._calculators.get(pid)
+        if calculator is None:
+            calculator = self._calculators[pid] = self._new_calculator()
+        return calculator
+
+    def ensure(self, pid: int) -> None:
+        self._calculator(pid)
+
+    def fork(self, pid: int, ppid: int) -> int:
+        if ppid:
+            calculator = self._calculator(ppid).clone()
+        else:
+            calculator = self._new_calculator()
+        self._calculators[pid] = calculator
+        return calculator.opens_processed
+
+    def exit(self, pid: int, merge_ppid: int, since: int) -> None:
+        calculator = self._calculators.pop(pid, None)
+        if calculator is None or not merge_ppid:
+            return
+        parent = self._calculators.get(merge_ppid)
+        if parent is not None:
+            parent.merge_from(calculator, since=since)
+
+    def open(self, pid: int, path: str, now: int) -> None:
+        self._ingest(self._calculator(pid).open(path), now)
+
+    def point(self, pid: int, path: str, now: int) -> None:
+        self._ingest(self._calculator(pid).point_reference(path), now)
+
+    def close(self, pid: int, path: str) -> None:
+        self._calculator(pid).close(path)
+
+    def rename(self, old: str, new: str) -> None:
+        for calculator in self._calculators.values():
+            calculator.rename(old, new)
+
+    def forget(self, path: str) -> None:
+        for calculator in self._calculators.values():
+            calculator.forget(path)
+
+    def _ingest(self, distances: List[Tuple[str, str, int]], now: int) -> None:
+        if distances:
+            self._metrics.incr("correlator.distances_ingested", len(distances))
+        for from_file, to_file, distance in distances:
+            self._store.observe(from_file, to_file, float(distance), now=now)
+
+
 class Correlator:
     """Consumes :class:`ObservedReference` events, maintains relationships."""
 
@@ -81,7 +178,20 @@ class Correlator:
                  seed: int = 0, metrics: Optional[Metrics] = None) -> None:
         self._parameters = parameters
         self.metrics = metrics if metrics is not None else Metrics()
-        self.store = NeighborStore(parameters, seed=seed, metrics=self.metrics)
+        self.store: StoreLike
+        self._engine: Union[_ReferenceEngine, ColumnarEngine]
+        if parameters.columnar_ingest:
+            arena = NeighborArena(parameters, metrics=self.metrics)
+            self.store = ArenaStore(arena)
+            self._engine = ColumnarEngine(arena, parameters,
+                                          metrics=self.metrics)
+        else:
+            self.store = NeighborStore(parameters, seed=seed,
+                                       metrics=self.metrics)
+            self._engine = _ReferenceEngine(self.store, parameters,
+                                            self.metrics)
+        self._clusterer = IncrementalClusterer(parameters, self.metrics)
+        self._prev_exclude: FrozenSet[str] = frozenset()
         self._streams: Dict[int, _ProcessStream] = {}
         self._recency: Dict[str, int] = {}
         self._recency_time: Dict[str, float] = {}
@@ -121,6 +231,14 @@ class Correlator:
         set of section 4.2) from every neighbor list before clustering,
         so a shared library cannot act as a bridge that merges all
         projects into one giant cluster.
+
+        With ``parameters.incremental_recluster`` (and no stale-link
+        cutoff, whose effective neighbor sets shift with every
+        reference), builds after the first splice in only the
+        neighborhoods dirtied since the previous build instead of
+        re-running Jarvis-Patrick over the whole population -- O(dirty)
+        between hoard walks, with byte-identical output (see
+        :mod:`repro.core.recluster` for the replay argument).
         """
         with self.metrics.timed("correlator.cluster_build"):
             distance_fn = directory_distance if use_directory_distance else None
@@ -135,6 +253,28 @@ class Correlator:
                     file: neighbors - exclude
                     for file, neighbors in neighbor_lists.items()
                     if file not in exclude}
+            if (self._parameters.incremental_recluster
+                    and self._parameters.stale_link_cutoff == 0):
+                dirty = self.store.drain_dirty()
+                exclude_set = frozenset(exclude) if exclude else frozenset()
+                if exclude_set != self._prev_exclude:
+                    # Exclusion changes rewrite filtered lists without
+                    # touching the store: fold the delta into the dirty
+                    # set so the splice reprocesses affected files.  A
+                    # toggled file's neighbors are affected too -- their
+                    # very membership in the clustering universe can
+                    # hinge on the toggled file's list being visible.
+                    for file in exclude_set ^ self._prev_exclude:
+                        dirty.add(file)
+                        dirty |= self.store.containing(file)
+                        dirty |= self.store.neighbor_set(file)
+                    self._prev_exclude = exclude_set
+                return self._clusterer.build(
+                    neighbor_lists, dirty,
+                    parameters=self._parameters, relations=relations,
+                    directory_distance=distance_fn,
+                    owners_of=self.store.containing)
+            self.store.drain_dirty()   # keep the dirty set bounded
             algorithm = SharedNeighborClustering(
                 neighbor_lists, parameters=self._parameters,
                 relations=relations, directory_distance=distance_fn)
@@ -158,11 +298,15 @@ class Correlator:
 
         if action is Action.OPEN:
             self._maybe_elide_stat(stream, reference.path)
-            self._record_open(stream, reference)
+            self._engine.open(stream.pid, reference.path,
+                              self._reference_counter)
+            self._touch(reference.path, reference.time)
         elif action is Action.CLOSE:
-            stream.calculator.close(reference.path)
+            self._engine.close(stream.pid, reference.path)
         elif action is Action.POINT:
-            self._record_point(stream, reference)
+            self._engine.point(stream.pid, reference.path,
+                               self._reference_counter)
+            self._touch(reference.path, reference.time)
         elif action is Action.STAT:
             # Deferred: discarded if immediately followed by an open of
             # the same file by the same process (section 4.8).
@@ -181,30 +325,23 @@ class Correlator:
     # ------------------------------------------------------------------
     # per-action logic
     # ------------------------------------------------------------------
-    def _new_calculator(self) -> LifetimeDistanceCalculator:
-        return LifetimeDistanceCalculator(
-            lookback_window=self._parameters.lookback_window,
-            prune=self._parameters.prune_lookback,
-            compensate=self._parameters.emit_compensation,
-            metrics=self.metrics)
-
     def _stream_for(self, pid: int) -> _ProcessStream:
         stream = self._streams.get(pid)
         if stream is None:
-            stream = _ProcessStream(
-                pid=pid, ppid=0, calculator=self._new_calculator())
+            stream = _ProcessStream(pid=pid, ppid=0)
             self._streams[pid] = stream
+            self._engine.ensure(pid)
         return stream
 
     def _handle_fork(self, reference: ObservedReference) -> None:
-        parent = self._stream_for(reference.ppid) if reference.ppid else None
-        if parent is not None:
-            calculator = parent.calculator.clone()
-        else:
-            calculator = self._new_calculator()
+        # Touch the parent first: the child inherits its history, and
+        # the engine must clone an existing stream, not invent one.
+        if reference.ppid:
+            self._stream_for(reference.ppid)
+        fork_base = self._engine.fork(reference.pid, reference.ppid)
         self._streams[reference.pid] = _ProcessStream(
-            pid=reference.pid, ppid=reference.ppid, calculator=calculator,
-            fork_base=calculator.opens_processed, created_by_fork=True)
+            pid=reference.pid, ppid=reference.ppid,
+            fork_base=fork_base, created_by_fork=True)
 
     def _maybe_elide_stat(self, stream: _ProcessStream, path: str) -> None:
         if stream.pending_stat == path:
@@ -216,46 +353,39 @@ class Correlator:
         if stream.pending_stat is not None:
             path = stream.pending_stat
             stream.pending_stat = None
-            self._ingest_distances(stream.calculator.point_reference(path))
+            self._engine.point(stream.pid, path, self._reference_counter)
             # The stat materializes with the wall-clock time at which it
             # was observed, not a zero time that would clobber the
             # file's recency for hoard ranking.
             self._touch(path, stream.pending_stat_time)
 
-    def _record_open(self, stream: _ProcessStream, reference: ObservedReference) -> None:
-        self._ingest_distances(stream.calculator.open(reference.path))
-        self._touch(reference.path, reference.time)
-
-    def _record_point(self, stream: _ProcessStream, reference: ObservedReference) -> None:
-        self._ingest_distances(stream.calculator.point_reference(reference.path))
-        self._touch(reference.path, reference.time)
-
     def _handle_exec(self, stream: _ProcessStream, reference: ObservedReference) -> None:
         # Executions are treated as opens lasting until exit (sec. 4.8).
         if stream.exec_image is not None:
-            stream.calculator.close(stream.exec_image)
-        self._ingest_distances(stream.calculator.open(reference.path))
+            self._engine.close(stream.pid, stream.exec_image)
+        self._engine.open(stream.pid, reference.path, self._reference_counter)
         self._touch(reference.path, reference.time)
         stream.exec_image = reference.path
 
     def _handle_exit(self, stream: _ProcessStream, reference: ObservedReference) -> None:
         if stream.exec_image is not None:
-            stream.calculator.close(stream.exec_image)
+            self._engine.close(stream.pid, stream.exec_image)
             stream.exec_image = None
         # Merge the history back only into the process that actually
         # forked this one.  Streams created on demand carry ppid 0, and
         # merging those into an unrelated pid-0 stream would invent
         # relationships between every orphan process's files.
-        if stream.created_by_fork and stream.ppid:
-            parent = self._streams.get(stream.ppid)
-            if parent is not None:
-                parent.calculator.merge_from(stream.calculator,
-                                             since=stream.fork_base)
+        merge_ppid = 0
+        if (stream.created_by_fork and stream.ppid
+                and stream.ppid in self._streams):
+            merge_ppid = stream.ppid
+        self._engine.exit(stream.pid, merge_ppid, since=stream.fork_base)
         self._streams.pop(stream.pid, None)
 
     def _handle_delete(self, stream: _ProcessStream, reference: ObservedReference) -> None:
         # The deletion itself is a semantically meaningful reference.
-        self._ingest_distances(stream.calculator.point_reference(reference.path))
+        self._engine.point(stream.pid, reference.path,
+                           self._reference_counter)
         self._touch(reference.path, reference.time)
         # Removal from internal tables is delayed, measured in total
         # deletions, so a delete-recreate cycle keeps its history.
@@ -272,12 +402,11 @@ class Correlator:
         # name and no stale entry for the old name (often a /tmp file)
         # lingers to pollute later distances.
         self.store.rename_file(old, new)
-        for other_stream in self._streams.values():
-            other_stream.calculator.rename(old, new)
+        self._engine.rename(old, new)
         if old in self._recency:
             self._recency[new] = self._recency.pop(old)
             self._recency_time[new] = self._recency_time.pop(old, reference.time)
-        self._ingest_distances(stream.calculator.point_reference(new))
+        self._engine.point(stream.pid, new, self._reference_counter)
         self._touch(new, reference.time)
 
     # ------------------------------------------------------------------
@@ -294,13 +423,6 @@ class Correlator:
                 pending for pending in self._pending_deletions
                 if pending.path != path]
 
-    def _ingest_distances(self, distances: List[Tuple[str, str, int]]) -> None:
-        if distances:
-            self.metrics.incr("correlator.distances_ingested", len(distances))
-        for from_file, to_file, distance in distances:
-            self.store.observe(from_file, to_file, float(distance),
-                               now=self._reference_counter)
-
     def _expire_deletions(self) -> None:
         threshold = self._deletion_counter - self._parameters.delete_delay
         keep: List[_PendingDeletion] = []
@@ -313,8 +435,7 @@ class Correlator:
                     self._recency_time.pop(pending.path, None)
                     # Purge per-process histories too, or a later open
                     # would resurrect distances to the dead file.
-                    for stream in self._streams.values():
-                        stream.calculator.forget(pending.path)
+                    self._engine.forget(pending.path)
             else:
                 keep.append(pending)
         self._pending_deletions = keep

@@ -40,6 +40,7 @@ class NeighborTable:
                  rng: Optional[random.Random] = None,
                  owner: Optional[str] = None,
                  index: Optional[Dict[str, Set[str]]] = None,
+                 dirty: Optional[Set[str]] = None,
                  metrics: Optional[Metrics] = None) -> None:
         self._parameters = parameters
         self._entries: Dict[str, DistanceSummary] = {}
@@ -55,6 +56,11 @@ class NeighborTable:
         self._oldest_update = float("inf")
         self._owner = owner
         self._index = index
+        # Shared with the owning store: files whose neighbor *set*
+        # changed since the incremental reclusterer last drained it.
+        # Mean updates to an existing entry do not dirty anything --
+        # clustering consumes only the sets.
+        self._dirty = dirty
         self._metrics = metrics
 
     def __len__(self) -> int:
@@ -87,9 +93,21 @@ class NeighborTable:
         ranked = sorted(self.items(), key=lambda item: (item[1], item[0]))
         return ranked if count is None else ranked[:count]
 
+    def entries(self) -> Iterator[Tuple[str, DistanceSummary]]:
+        """All (neighbor, summary) pairs, in insertion order.
+
+        The public persistence surface: both table implementations
+        (this one and :class:`~repro.core.arena.ArenaTable`) expose it,
+        so serialization never reaches into representation details.
+        """
+        return iter(self._entries.items())
+
     def remove(self, neighbor: str) -> None:
         if self._entries.pop(neighbor, None) is not None:
             self._deregister(neighbor)
+            self._mark_dirty(neighbor)
+            if self._owner is not None:
+                self._mark_dirty(self._owner)
 
     # ------------------------------------------------------------------
     # reverse-index bookkeeping (owned by NeighborStore)
@@ -105,6 +123,10 @@ class NeighborTable:
                 owners.discard(self._owner)
                 if not owners:
                     del self._index[neighbor]
+
+    def _mark_dirty(self, file: str) -> None:
+        if self._dirty is not None:
+            self._dirty.add(file)
 
     def observe(self, neighbor: str, distance: float, now: int,
                 deletable: Optional[Set[str]] = None) -> bool:
@@ -132,6 +154,8 @@ class NeighborTable:
             fresh.add(distance, now=now)
             self._entries[neighbor] = fresh
             self._register(neighbor)
+            if self._owner is not None:
+                self._mark_dirty(self._owner)
             if distance > self._worst_bound:
                 self._worst_bound = distance
             if now < self._oldest_update:
@@ -144,6 +168,9 @@ class NeighborTable:
             return False
         del self._entries[victim]
         self._deregister(victim)
+        self._mark_dirty(victim)
+        if self._owner is not None:
+            self._mark_dirty(self._owner)
         fresh = DistanceSummary()
         fresh.add(distance, now=now)
         self._entries[neighbor] = fresh
@@ -164,8 +191,11 @@ class NeighborTable:
             marked = [name for name in self._entries if name in deletable]
             if marked:
                 return min(marked)  # deterministic among marked entries
-        # 2. The entry with the largest current distance, ties broken
-        #    randomly, replaced only if farther than the candidate.  If
+        # 2. The entry with the largest current distance, replaced only
+        #    if farther than the candidate.  Ties break to the smallest
+        #    name: the choice must be a pure function of table state so
+        #    the columnar engine (which never draws from a per-table
+        #    rng) evicts the same victim as this reference path.  If
         #    the incremental bound already rules a replacement out, the
         #    exact maximum cannot exceed the candidate either and the
         #    scan is skipped entirely.
@@ -175,9 +205,8 @@ class NeighborTable:
                           for entry in self._entries.values())
             self._worst_bound = largest   # tighten while we know it
             if largest > candidate_distance:
-                worst = [name for name, entry in self._entries.items()
-                         if entry.mean(geometric=geometric) == largest]
-                return self._rng.choice(sorted(worst))
+                return min(name for name, entry in self._entries.items()
+                           if entry.mean(geometric=geometric) == largest)
         elif self._metrics is not None:
             self._metrics.incr("neighbor.bound_skips")
         # 3. Aging: a very old, inactive entry may be replaced anyway.
@@ -201,11 +230,13 @@ class NeighborTable:
                 return aged_best[1]
         return None
 
-    def _load_entry(self, neighbor: str, summary: DistanceSummary) -> None:
+    def load_entry(self, neighbor: str, summary: DistanceSummary) -> None:
         """Install a deserialized entry, keeping index and bound valid."""
         if neighbor not in self._entries:
             self._register(neighbor)
         self._entries[neighbor] = summary
+        if self._owner is not None:
+            self._mark_dirty(self._owner)
         mean = summary.mean(geometric=self._parameters.use_geometric_mean)
         if mean > self._worst_bound:
             self._worst_bound = mean
@@ -226,6 +257,9 @@ class NeighborStore:
         # Reverse index: file -> owners whose tables list it as a
         # neighbor.  Renames and removals touch only those tables.
         self._containing: Dict[str, Set[str]] = {}
+        # Files whose neighbor sets changed since the last drain; the
+        # incremental reclusterer's work queue (repro.core.recluster).
+        self._dirty: Set[str] = set()
 
     def __len__(self) -> int:
         return len(self._tables)
@@ -239,8 +273,10 @@ class NeighborStore:
             existing = NeighborTable(self._parameters,
                                      rng=random.Random(self._rng.random()),
                                      owner=file, index=self._containing,
+                                     dirty=self._dirty,
                                      metrics=self._metrics)
             self._tables[file] = existing
+            self._dirty.add(file)   # a new (even empty) clustering key
         return existing
 
     def get(self, file: str) -> Optional[NeighborTable]:
@@ -274,10 +310,13 @@ class NeighborStore:
             return
         moved = self._tables.pop(old, None)
         if moved is not None:
+            self._dirty.add(old)
+            self._dirty.add(new)
             displaced = self._tables.pop(new, None)
             if displaced is not None:
                 for neighbor in displaced.neighbors():
                     displaced._deregister(neighbor)
+                    self._dirty.add(neighbor)
             for neighbor in moved.neighbors():
                 moved._deregister(neighbor)
             # The moved table must not list its own new name.
@@ -294,6 +333,8 @@ class NeighborStore:
             entry = table._entries.pop(old, None)
             if entry is None:
                 continue
+            self._dirty.add(owner)
+            self._dirty.add(old)
             if owner == new:
                 continue   # re-keying would create a self-entry: drop
             if new not in table._entries:
@@ -309,11 +350,25 @@ class NeighborStore:
         if table is not None:
             for neighbor in table.neighbors():
                 table._deregister(neighbor)
+                self._dirty.add(neighbor)
         for owner in self._containing.pop(file, set()):
             other = self._tables.get(owner)
             if other is not None:
                 other._entries.pop(file, None)
+                self._dirty.add(owner)
+        self._dirty.add(file)
         self.marked_for_deletion.discard(file)
+
+    def neighbor_set(self, file: str) -> Set[str]:
+        """One file's current neighbor set (empty if untracked)."""
+        table = self._tables.get(file)
+        return table.neighbors() if table is not None else set()
+
+    def drain_dirty(self) -> Set[str]:
+        """Files whose neighbor sets changed since the last drain."""
+        drained = set(self._dirty)
+        self._dirty.clear()
+        return drained
 
     def neighbor_lists(self, now: Optional[int] = None,
                        stale_after: Optional[int] = None) -> Dict[str, Set[str]]:

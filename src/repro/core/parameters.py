@@ -36,6 +36,18 @@ class SeerParameters:
                                      # reinforced within this many
                                      # references are ignored at
                                      # clustering time (aging, sec 3.1.3)
+    columnar_ingest: bool = True     # fuse the per-process distance scan
+                                     # with the neighbor-arena update
+                                     # (repro.core.arena); False keeps the
+                                     # per-entry dict/object reference
+                                     # path, preserved for equivalence
+                                     # testing and as the seed baseline
+    incremental_recluster: bool = True  # recluster only dirtied
+                                     # neighborhoods between hoard walks
+                                     # (repro.core.recluster); False runs
+                                     # a full Jarvis-Patrick pass per
+                                     # build.  Ignored (full pass) when
+                                     # stale_link_cutoff > 0.
     # --- data reduction (section 3.1.2) ---
     use_geometric_mean: bool = True  # False -> arithmetic mean (ablation)
 

@@ -12,11 +12,10 @@ deployment survives restarts without relearning months of behaviour.
 from __future__ import annotations
 
 import json
-from typing import IO, Dict
+from typing import Dict
 
 from repro.core.correlator import Correlator
 from repro.core.distance import DistanceSummary
-from repro.core.neighbors import NeighborTable
 from repro.core.parameters import SeerParameters
 
 FORMAT_VERSION = 1
@@ -31,6 +30,7 @@ def dump_correlator(correlator: Correlator) -> Dict:
     tables = {}
     for file in correlator.store.files():
         table = correlator.store.get(file)
+        assert table is not None
         tables[file] = {
             neighbor: {
                 "count": entry.count,
@@ -38,7 +38,7 @@ def dump_correlator(correlator: Correlator) -> Dict:
                 "linear_sum": entry.linear_sum,
                 "last_update": entry.last_update,
             }
-            for neighbor, entry in table._entries.items()
+            for neighbor, entry in table.entries()
         }
     return {
         "format": FORMAT_VERSION,
@@ -67,7 +67,9 @@ def load_correlator(data: Dict,
     correlator._deletion_counter = data["deletion_counter"]
     correlator._recency = dict(data["recency"])
     correlator._recency_time = dict(data["recency_times"])
-    correlator.store.marked_for_deletion = set(data["marked_for_deletion"])
+    marked = correlator.store.marked_for_deletion
+    for path in data["marked_for_deletion"]:
+        marked.add(path)
     for file, entries in data["tables"].items():
         table = correlator.store.table(file)
         for neighbor, fields in entries.items():
@@ -77,7 +79,7 @@ def load_correlator(data: Dict,
                 last_update=fields["last_update"])
             # Goes through the loading API so the store's reverse index
             # and the table's worst-entry bound stay consistent.
-            table._load_entry(neighbor, summary)
+            table.load_entry(neighbor, summary)
     return correlator
 
 

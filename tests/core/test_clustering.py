@@ -232,3 +232,59 @@ def test_clustering_invariants(edges):
     for cluster_id in clusters.cluster_ids():
         for member in clusters.members(cluster_id):
             assert cluster_id in clusters.clusters_of(member)
+
+
+class TestDeduplicate:
+    """``deduplicate`` may never leave a reference to a deleted id."""
+
+    def test_chained_duplicates_remap_to_the_ultimate_survivor(self):
+        clusters = ClusterSet()
+        first = clusters.new_cluster(["x", "y"])
+        second = clusters.new_cluster(["x", "y"])
+        third = clusters.new_cluster(["x", "y"])
+        remap = clusters.deduplicate()
+        assert remap == {second: first, third: first}
+        assert clusters.cluster_ids() == [first]
+        assert clusters.clusters_of("x") == {first}
+        assert clusters.clusters_of("y") == {first}
+
+    def test_remap_targets_are_always_live(self):
+        clusters = ClusterSet()
+        clusters.new_cluster(["a"])
+        clusters.new_cluster(["a", "b"])
+        clusters.new_cluster(["a"])
+        clusters.new_cluster(["a", "b"])
+        clusters.new_cluster(["a"])
+        remap = clusters.deduplicate()
+        live = set(clusters.cluster_ids())
+        assert set(remap.values()) <= live
+        assert not set(remap) & live
+
+    @settings(max_examples=100)
+    @given(member_sets=st.lists(
+        st.frozensets(st.sampled_from("uvwxyz"), min_size=1, max_size=4),
+        min_size=1, max_size=12))
+    def test_membership_never_references_deleted_ids(self, member_sets):
+        clusters = ClusterSet()
+        for members in member_sets:
+            clusters.new_cluster(members)
+        before = set(clusters.as_sets())
+        remap = clusters.deduplicate()
+
+        live = set(clusters.cluster_ids())
+        assert set(remap.values()) <= live          # chains fully chased
+        assert not set(remap) & live                # dropped ids are gone
+        # Content is preserved: same distinct member sets, no copies.
+        after = clusters.as_sets()
+        assert set(after) == before
+        assert len(after) == len(before)
+        # clusters_of / project_of resolve through live clusters only.
+        for file in sorted(clusters.files()):
+            owning = clusters.clusters_of(file)
+            assert owning and owning <= live
+            project = clusters.project_of(file)     # no KeyError on dead ids
+            assert file in project
+        # The index and the cluster map agree in both directions.
+        for cluster_id in clusters.cluster_ids():
+            for member in clusters.members(cluster_id):
+                assert cluster_id in clusters.clusters_of(member)

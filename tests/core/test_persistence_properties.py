@@ -52,8 +52,8 @@ def test_round_trip_with_pruning_flags_enabled(stream, lookback,
         copy = restored.store.get(file)
         assert copy.neighbors() == original.neighbors()
         for neighbor in original.neighbors():
-            ours = original._entries[neighbor]
-            theirs = copy._entries[neighbor]
+            ours = original.summary(neighbor)
+            theirs = copy.summary(neighbor)
             assert (theirs.count, theirs.log_sum, theirs.linear_sum,
                     theirs.last_update) == \
                 (ours.count, ours.log_sum, ours.linear_sum, ours.last_update)

@@ -1,0 +1,125 @@
+"""The performance-trajectory gate itself must be trustworthy.
+
+A benchmark that crashes before writing its ``BENCH_*.json`` record
+must fail the gate, not produce a cosy "skip" line; the
+``min_speedup_vs_seed`` bound must bind on full records and stay out
+of the way on smoke records, whose tiny traces make ratios noise.
+"""
+
+import json
+import os
+
+import pytest
+
+from benchmarks import check_trajectory
+
+
+def write_trajectory(tmp_path, trajectory):
+    path = tmp_path / "trajectory.json"
+    path.write_text(json.dumps(trajectory))
+    return str(path)
+
+
+def write_bench_record(output_dir, record):
+    os.makedirs(output_dir, exist_ok=True)
+    path = os.path.join(output_dir, f"BENCH_{record['name']}.json")
+    with open(path, "w", encoding="utf-8") as stream:
+        json.dump(record, stream)
+
+
+def run_gate(tmp_path, monkeypatch, trajectory, records=()):
+    monkeypatch.setattr(check_trajectory, "TRAJECTORY",
+                        write_trajectory(tmp_path, trajectory))
+    output_dir = str(tmp_path / "output")
+    os.makedirs(output_dir, exist_ok=True)
+    for record in records:
+        write_bench_record(output_dir, record)
+    return check_trajectory.main(["check_trajectory.py", output_dir])
+
+
+GOOD_RECORD = {
+    "name": "correlator_ingest",
+    "wall_seconds": 1.0,
+    "items": 50_000,
+    "throughput_per_second": 50_000.0,
+    "peak_rss_bytes": 100 * 2**20,
+    "smoke": False,
+    "speedup_vs_seed": 13.0,
+}
+
+BOUNDS = {
+    "required": True,
+    "min_throughput_per_second": 10_000,
+    "min_speedup_vs_seed": 10,
+    "max_peak_rss_bytes": 2**32,
+}
+
+
+def test_passing_record_passes(tmp_path, monkeypatch):
+    assert run_gate(tmp_path, monkeypatch,
+                    {"correlator_ingest": BOUNDS}, [GOOD_RECORD]) == 0
+
+
+def test_missing_required_record_fails(tmp_path, monkeypatch, capsys):
+    """A crashed benchmark leaves no record; the gate must fail."""
+    assert run_gate(tmp_path, monkeypatch,
+                    {"correlator_ingest": BOUNDS}, []) == 1
+    out = capsys.readouterr().out
+    assert "required record missing" in out
+    assert "skip" not in out
+
+
+def test_missing_optional_record_skips(tmp_path, monkeypatch, capsys):
+    bounds = {key: value for key, value in BOUNDS.items()
+              if key != "required"}
+    assert run_gate(tmp_path, monkeypatch,
+                    {"correlator_ingest": bounds}, []) == 0
+    assert "skip" in capsys.readouterr().out
+
+
+def test_speedup_below_bound_fails(tmp_path, monkeypatch, capsys):
+    record = dict(GOOD_RECORD, speedup_vs_seed=4.0)
+    assert run_gate(tmp_path, monkeypatch,
+                    {"correlator_ingest": BOUNDS}, [record]) == 1
+    assert "below" in capsys.readouterr().out
+
+
+def test_speedup_missing_from_record_fails(tmp_path, monkeypatch, capsys):
+    record = {key: value for key, value in GOOD_RECORD.items()
+              if key != "speedup_vs_seed"}
+    assert run_gate(tmp_path, monkeypatch,
+                    {"correlator_ingest": BOUNDS}, [record]) == 1
+    assert "no speedup_vs_seed" in capsys.readouterr().out
+
+
+def test_speedup_not_enforced_on_smoke_records(tmp_path, monkeypatch):
+    record = dict(GOOD_RECORD, smoke=True, speedup_vs_seed=1.2,
+                  throughput_per_second=40_000.0)
+    assert run_gate(tmp_path, monkeypatch,
+                    {"correlator_ingest": BOUNDS}, [record]) == 0
+
+
+def test_throughput_bound_still_binds(tmp_path, monkeypatch, capsys):
+    record = dict(GOOD_RECORD, throughput_per_second=500.0)
+    assert run_gate(tmp_path, monkeypatch,
+                    {"correlator_ingest": BOUNDS}, [record]) == 1
+    assert "throughput" in capsys.readouterr().out
+
+
+def test_unlisted_record_noted_not_failed(tmp_path, monkeypatch, capsys):
+    record = dict(GOOD_RECORD, name="brand_new_bench")
+    assert run_gate(tmp_path, monkeypatch, {}, [record]) == 0
+    assert "no trajectory entry yet" in capsys.readouterr().out
+
+
+@pytest.mark.parametrize("smoke", [False, True])
+def test_committed_trajectory_matches_bench_record_fields(smoke):
+    """The committed bounds reference fields the bench actually writes."""
+    with open(check_trajectory.TRAJECTORY, encoding="utf-8") as stream:
+        trajectory = json.load(stream)
+    bounds = trajectory["correlator_ingest"]
+    assert bounds["required"] is True
+    assert bounds["min_speedup_vs_seed"] >= 10
+    assert bounds["min_throughput_per_second"] >= 10_000
+    record = dict(GOOD_RECORD, smoke=smoke)
+    assert not list(check_trajectory.check(record, bounds))
