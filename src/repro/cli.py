@@ -9,6 +9,7 @@ Subcommands:
 ``figure2``    run the multi-machine study and render Figure 2
 ``report``     run the full reproduction and render everything
 ``sweep``      sweep one SEER parameter and report the objective
+``service``    run the multi-tenant hoard daemon (docs/service.md)
 
 All simulation commands accept a machine name (A-I); ``generate`` can
 persist the trace for later ``stats`` inspection.
@@ -259,6 +260,21 @@ def cmd_sweep(args) -> int:
     return 0
 
 
+def cmd_service(args) -> int:
+    import asyncio
+    from repro.service.daemon import run_service
+    counters = asyncio.run(run_service(
+        host=args.host, port=args.port, unix_path=args.unix_socket,
+        shards=args.shards, queue_bound=args.queue_bound,
+        checkpoint_dir=args.checkpoint_dir, store_backend=args.store,
+        resume=args.resume, fault_profile=args.fault_profile,
+        fault_seed=args.fault_seed,
+        max_runtime_seconds=args.max_runtime))
+    if args.metrics:
+        _print_metrics(counters)
+    return 0
+
+
 def _coerce(text: str):
     for conv in (int, float):
         try:
@@ -335,6 +351,41 @@ def build_parser() -> argparse.ArgumentParser:
     report.add_argument("--metrics", action="store_true",
                         help="print runner and ingestion counters to stderr")
     report.set_defaults(handler=cmd_report)
+
+    service = commands.add_parser(
+        "service",
+        help="run the multi-tenant hoard daemon (docs/service.md)")
+    service.add_argument("--host", default="127.0.0.1")
+    service.add_argument("--port", type=int, default=7707,
+                         help="TCP port to listen on (default 7707; "
+                              "0 picks a free port)")
+    service.add_argument("--unix-socket", metavar="PATH", default=None,
+                         help="listen on a unix socket instead of TCP")
+    service.add_argument("--shards", type=int, default=4,
+                         help="worker tasks tenants are sharded across "
+                              "(default 4)")
+    service.add_argument("--queue-bound", type=int, default=1024,
+                         help="per-tenant inbox bound; a full inbox "
+                              "backpressures the client's socket "
+                              "(default 1024)")
+    service.add_argument("--checkpoint-dir", metavar="DIR",
+                         help="persist tenant state into DIR through the "
+                              "checkpoint state store (docs/state-store.md)")
+    service.add_argument("--store", choices=("json", "sqlite"),
+                         default="json",
+                         help="checkpoint backend under --checkpoint-dir")
+    service.add_argument("--no-resume", dest="resume", action="store_false",
+                         help="ignore existing checkpoints instead of "
+                              "restoring tenants from them")
+    _add_fault_arguments(service)
+    service.add_argument("--max-runtime", type=float, default=None,
+                         metavar="SECONDS",
+                         help="drain and exit after SECONDS (default: "
+                              "serve until SIGINT/SIGTERM)")
+    service.add_argument("--metrics", action="store_true",
+                         help="print service.* and absorbed per-tenant "
+                              "pipeline counters to stderr at shutdown")
+    service.set_defaults(handler=cmd_service)
 
     sweep = commands.add_parser("sweep", help="sweep one SEER parameter")
     _add_machine_arguments(sweep)

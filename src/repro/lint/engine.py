@@ -119,6 +119,7 @@ class LintConfig:
         "repro/faults/",
         "repro/observability/",
         "repro/lint/",
+        "repro/service/",
     )
 
 

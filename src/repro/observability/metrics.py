@@ -17,6 +17,7 @@ production and in benchmarks.
 
 from __future__ import annotations
 
+import threading
 import time
 from contextlib import contextmanager
 from dataclasses import dataclass
@@ -71,9 +72,19 @@ class Metrics:
     (``tests/conftest.py``) so any unregistered name used by
     production code fails its test immediately; production runs stay
     permissive so a hot path never pays for a typo with a crash.
+
+    Recording is thread-safe: every read-modify-write (``incr``,
+    ``mark``, ``timed``, ``observe``, ``absorb_counters``) holds a
+    per-instance lock, so a registry shared between the service
+    daemon's actors and a thread folding worker snapshots cannot lose
+    updates to interleaving.  Under plain single-threaded use the
+    uncontended lock costs tens of nanoseconds per record.
+    ``snapshot`` takes the same lock, so a snapshot is internally
+    consistent; single-key reads like ``counter`` are already atomic
+    dictionary lookups and stay lock-free.
     """
 
-    __slots__ = ("counters", "spans", "timers", "strict")
+    __slots__ = ("counters", "spans", "timers", "strict", "_lock")
 
     #: Default for instances created without an explicit ``strict``;
     #: the test suite sets this to True.
@@ -84,6 +95,7 @@ class Metrics:
         self.spans: Dict[str, SpanStat] = {}
         self.timers: Dict[str, TimerStat] = {}
         self.strict = Metrics.strict_default if strict is None else strict
+        self._lock = threading.Lock()
 
     def _check(self, name: str) -> None:
         if self.strict and not is_registered(name):
@@ -95,18 +107,20 @@ class Metrics:
     def incr(self, name: str, amount: int = 1) -> None:
         """Add *amount* to counter *name* (creating it at zero)."""
         self._check(name)
-        self.counters[name] = self.counters.get(name, 0) + amount
+        with self._lock:
+            self.counters[name] = self.counters.get(name, 0) + amount
 
     def mark(self, name: str, count: int = 1) -> None:
         """Record *count* occurrences of span *name* at the current time."""
         self._check(name)
         now = time.perf_counter()
-        span = self.spans.get(name)
-        if span is None:
-            span = SpanStat(first=now)
-            self.spans[name] = span
-        span.count += count
-        span.last = now
+        with self._lock:
+            span = self.spans.get(name)
+            if span is None:
+                span = SpanStat(first=now)
+                self.spans[name] = span
+            span.count += count
+            span.last = now
 
     @contextmanager
     def timed(self, name: str) -> Iterator[None]:
@@ -117,13 +131,14 @@ class Metrics:
             yield
         finally:
             elapsed = time.perf_counter() - start
-            timer = self.timers.get(name)
-            if timer is None:
-                timer = TimerStat()
-                self.timers[name] = timer
-            timer.calls += 1
-            timer.total_seconds += elapsed
-            timer.last_seconds = elapsed
+            with self._lock:
+                timer = self.timers.get(name)
+                if timer is None:
+                    timer = TimerStat()
+                    self.timers[name] = timer
+                timer.calls += 1
+                timer.total_seconds += elapsed
+                timer.last_seconds = elapsed
 
     def observe(self, name: str, seconds: float) -> None:
         """Record an externally-timed duration into timer *name*.
@@ -133,13 +148,14 @@ class Metrics:
         this is the entry point for such pre-measured durations.
         """
         self._check(name)
-        timer = self.timers.get(name)
-        if timer is None:
-            timer = TimerStat()
-            self.timers[name] = timer
-        timer.calls += 1
-        timer.total_seconds += seconds
-        timer.last_seconds = seconds
+        with self._lock:
+            timer = self.timers.get(name)
+            if timer is None:
+                timer = TimerStat()
+                self.timers[name] = timer
+            timer.calls += 1
+            timer.total_seconds += seconds
+            timer.last_seconds = seconds
 
     def absorb_counters(self, snapshot: Dict[str, float],
                         skip_suffixes: Tuple[str, ...] = ()) -> None:
@@ -150,12 +166,14 @@ class Metrics:
         are not meaningful to add, so callers pass their suffixes via
         *skip_suffixes* and only the plain counters are merged.
         """
-        for name, value in snapshot.items():
-            if any(name.endswith(suffix) for suffix in skip_suffixes):
-                continue
-            if isinstance(value, bool) or not isinstance(value, (int, float)):
-                continue
-            self.counters[name] = self.counters.get(name, 0) + value
+        with self._lock:
+            for name, value in snapshot.items():
+                if any(name.endswith(suffix) for suffix in skip_suffixes):
+                    continue
+                if isinstance(value, bool) or \
+                        not isinstance(value, (int, float)):
+                    continue
+                self.counters[name] = self.counters.get(name, 0) + value
 
     # ------------------------------------------------------------------
     # reading
@@ -176,16 +194,17 @@ class Metrics:
 
     def snapshot(self) -> Dict[str, float]:
         """Flatten everything into one name -> number mapping."""
-        out: Dict[str, float] = dict(self.counters)
-        for name, span in self.spans.items():
-            out[f"{name}.count"] = span.count
-            out[f"{name}.seconds"] = span.elapsed
-            out[f"{name}.per_second"] = span.rate
-        for name, timer in self.timers.items():
-            out[f"{name}.calls"] = timer.calls
-            out[f"{name}.total_seconds"] = timer.total_seconds
-            out[f"{name}.mean_seconds"] = timer.mean_seconds
-        return out
+        with self._lock:
+            out: Dict[str, float] = dict(self.counters)
+            for name, span in self.spans.items():
+                out[f"{name}.count"] = span.count
+                out[f"{name}.seconds"] = span.elapsed
+                out[f"{name}.per_second"] = span.rate
+            for name, timer in self.timers.items():
+                out[f"{name}.calls"] = timer.calls
+                out[f"{name}.total_seconds"] = timer.total_seconds
+                out[f"{name}.mean_seconds"] = timer.mean_seconds
+            return out
 
     def render(self) -> str:
         """Human-readable report, one metric per line.
@@ -210,6 +229,7 @@ class Metrics:
         return "\n".join(lines)
 
     def reset(self) -> None:
-        self.counters.clear()
-        self.spans.clear()
-        self.timers.clear()
+        with self._lock:
+            self.counters.clear()
+            self.spans.clear()
+            self.timers.clear()

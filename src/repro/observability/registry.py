@@ -137,6 +137,43 @@ METRICS: Tuple[MetricSpec, ...] = (
                "server reads failed during hoard fills / walks"),
     MetricSpec("faults.read_latency_ms", "counter",
                "milliseconds of injected slow-read latency"),
+    # -- hoard daemon (repro.service) ------------------------------------
+    MetricSpec("service.connections", "counter",
+               "client connections accepted by the daemon"),
+    MetricSpec("service.connections_dropped", "counter",
+               "connections cut by injected server-side faults"),
+    MetricSpec("service.batches", "counter",
+               "event batches accepted over the wire"),
+    MetricSpec("service.events_ingested", "counter",
+               "trace references applied to tenant correlators"),
+    MetricSpec("service.duplicates_dropped", "counter",
+               "redelivered events dropped by the seq dedupe"),
+    MetricSpec("service.errors", "counter",
+               "protocol errors answered with an error frame"),
+    MetricSpec("service.queue_full_waits", "counter",
+               "event submissions that blocked on a full tenant inbox"),
+    MetricSpec("service.queue_high_water", "counter",
+               "deepest tenant inbox observed (monotone high-water mark)"),
+    MetricSpec("service.tenants", "counter",
+               "tenant actors created over the daemon's lifetime"),
+    MetricSpec("service.tenants_restored", "counter",
+               "tenant actors restored from a checkpoint store"),
+    MetricSpec("service.fill_requests", "counter",
+               "hoard_fill requests answered against live state"),
+    MetricSpec("service.checkpoints", "counter",
+               "tenant checkpoints written to the state store"),
+    MetricSpec("service.requests", "span",
+               "requests dispatched (rate = request throughput)"),
+    MetricSpec("service.request_latency", "timer",
+               "request dispatch latency, receipt to reply"),
+    MetricSpec("service.drain", "timer",
+               "graceful-shutdown drain + checkpoint duration"),
+    MetricSpec("service.client_batches", "counter",
+               "event batches sent by a ServiceClient"),
+    MetricSpec("service.client_reconnects", "counter",
+               "client reconnects under the retry policy"),
+    MetricSpec("service.client_resends", "counter",
+               "unacknowledged requests resent after a reconnect"),
 )
 
 #: Suffixes Metrics.snapshot() appends to span/timer base names.

@@ -91,7 +91,7 @@ class ShardSpec:
     exact parameters without access to the caller's objects.
     """
 
-    kind: str                     # "missfree" | "live" | "objective"
+    kind: str           # "missfree" | "live" | "objective" | "service"
     machine: str
     trace_seed: int
     days: float
@@ -106,7 +106,10 @@ class ShardSpec:
     fault_seed: int = 0
 
     def __post_init__(self) -> None:
-        if self.kind not in ("missfree", "live", "objective"):
+        # "service" cells are never executed by this runner -- the
+        # hoard daemon (repro.service) reuses ShardSpec purely as the
+        # checkpoint-store key for a tenant's correlator state.
+        if self.kind not in ("missfree", "live", "objective", "service"):
             raise ValueError(f"unknown shard kind: {self.kind!r}")
         if self.fault_profile is not None:
             if self.kind != "live":
@@ -223,6 +226,9 @@ def _trace_for(machine: str, seed: int, days: float) -> "GeneratedTrace":
 
 def execute_shard(spec: ShardSpec) -> ShardResult:
     """Run one grid cell (in whatever process this is)."""
+    if spec.kind == "service":
+        raise ValueError("service specs key hoard-daemon checkpoints and "
+                         "cannot be executed as grid cells")
     trace = _trace_for(spec.machine, spec.trace_seed, spec.days)
     parameters = spec.parameters()
     if spec.kind == "missfree":

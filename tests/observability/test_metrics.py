@@ -106,3 +106,94 @@ class TestRenderReset:
             pass
         metrics.reset()
         assert metrics.snapshot() == {}
+
+
+class TestThreadSafety:
+    """Interleaved-update regression tests (the service daemon absorbs
+    tenant registries from actors while they are still recording, and
+    the parallel runner folds worker snapshots from a thread).
+
+    Every read-modify-write in ``Metrics`` is a get-then-set; without
+    the per-instance lock, a thread switch between the two loses one
+    side's update.  ``sys.setswitchinterval`` is cranked down so the
+    interpreter switches threads inside the critical section often
+    enough that a regression fails loudly, not flakily.
+    """
+
+    THREADS = 8
+    ROUNDS = 2_000
+
+    def _hammer(self, worker):
+        import sys
+        import threading
+        previous = sys.getswitchinterval()
+        sys.setswitchinterval(1e-6)
+        try:
+            threads = [threading.Thread(target=worker)
+                       for _ in range(self.THREADS)]
+            for thread in threads:
+                thread.start()
+            for thread in threads:
+                thread.join()
+        finally:
+            sys.setswitchinterval(previous)
+
+    def test_concurrent_incr_loses_no_updates(self):
+        metrics = Metrics(strict=False)
+        self._hammer(lambda: [metrics.incr("hits")
+                              for _ in range(self.ROUNDS)])
+        assert metrics.counter("hits") == self.THREADS * self.ROUNDS
+
+    def test_concurrent_observe_loses_no_calls(self):
+        metrics = Metrics(strict=False)
+        self._hammer(lambda: [metrics.observe("op", 0.001)
+                              for _ in range(self.ROUNDS)])
+        timer = metrics.timer("op")
+        assert timer.calls == self.THREADS * self.ROUNDS
+        assert timer.total_seconds == pytest.approx(
+            0.001 * self.THREADS * self.ROUNDS)
+
+    def test_concurrent_absorb_counters_loses_no_updates(self):
+        metrics = Metrics(strict=False)
+        snapshot = {"a": 1, "b": 2}
+        self._hammer(lambda: [metrics.absorb_counters(snapshot)
+                              for _ in range(self.ROUNDS)])
+        assert metrics.counter("a") == self.THREADS * self.ROUNDS
+        assert metrics.counter("b") == 2 * self.THREADS * self.ROUNDS
+
+    def test_concurrent_mark_counts_every_event(self):
+        metrics = Metrics(strict=False)
+        self._hammer(lambda: [metrics.mark("refs")
+                              for _ in range(self.ROUNDS)])
+        assert metrics.span("refs").count == self.THREADS * self.ROUNDS
+
+    def test_absorb_while_recording_is_consistent(self):
+        """The daemon's combined_counters path: one side records, the
+        other absorbs snapshots -- totals must stay exact."""
+        source = Metrics(strict=False)
+        sink = Metrics(strict=False)
+
+        def record():
+            for _ in range(self.ROUNDS):
+                source.incr("events")
+
+        def fold():
+            for _ in range(self.ROUNDS // 10):
+                sink.absorb_counters({"folds": 1})
+                source.snapshot()     # must never see a torn update
+
+        import sys
+        import threading
+        previous = sys.getswitchinterval()
+        sys.setswitchinterval(1e-6)
+        try:
+            threads = [threading.Thread(target=record) for _ in range(4)] \
+                + [threading.Thread(target=fold) for _ in range(4)]
+            for thread in threads:
+                thread.start()
+            for thread in threads:
+                thread.join()
+        finally:
+            sys.setswitchinterval(previous)
+        assert source.counter("events") == 4 * self.ROUNDS
+        assert sink.counter("folds") == 4 * (self.ROUNDS // 10)
