@@ -1,6 +1,14 @@
 """Rendering the paper's tables and figures from simulation results."""
 
 from repro.analysis.figures import render_figure2, render_figure3
+from repro.analysis.population import (
+    PopulationAggregate,
+    aggregate_from_data,
+    aggregate_to_data,
+    bootstrap_band,
+    percentile,
+    render_population_report,
+)
 from repro.analysis.report import ReproductionReport, run_reproduction
 from repro.analysis.tables import (
     render_table1,
@@ -10,9 +18,15 @@ from repro.analysis.tables import (
 )
 
 __all__ = [
+    "PopulationAggregate",
     "ReproductionReport",
+    "aggregate_from_data",
+    "aggregate_to_data",
+    "bootstrap_band",
+    "percentile",
     "render_figure2",
     "render_figure3",
+    "render_population_report",
     "render_table1",
     "render_table3",
     "render_table4",

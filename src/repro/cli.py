@@ -10,12 +10,16 @@ Subcommands:
 ``report``     run the full reproduction and render everything
 ``sweep``      sweep one SEER parameter and report the objective
 ``service``    run the multi-tenant hoard daemon (docs/service.md)
+``population`` fleet-scale synthetic-population study (docs/population.md)
 
 All simulation commands accept a machine name (A-I); ``generate`` can
-persist the trace for later ``stats`` inspection.
+persist the trace for later ``stats`` inspection.  ``population``
+instead takes ``--machines N --seed S`` and synthesizes N machine
+profiles sampled from Table 3's distributions.
 
-``figure2``, ``report``, ``sweep`` and ``live`` run their experiment
-grids on the parallel runner (docs/parallel-runner.md): ``--jobs N``
+``figure2``, ``report``, ``sweep``, ``live`` and ``population`` run
+their experiment grids on the parallel runner
+(docs/parallel-runner.md): ``--jobs N``
 shards the grid across N worker processes, ``--checkpoint-dir DIR``
 persists completed cells through the checkpoint state store
 (docs/state-store.md) -- ``--store json`` writes one file per cell,
@@ -242,6 +246,90 @@ def cmd_report(args) -> int:
     return 0
 
 
+def cmd_population(args) -> int:
+    import json
+    from repro.analysis.population import (
+        PopulationAggregate,
+        aggregate_from_data,
+        aggregate_to_data,
+        render_population_report,
+    )
+    from repro.workload import PopulationSpec, SampleStats, sample_population
+
+    if args.action == "report":
+        if not args.load:
+            print("population report requires --load FILE (the output of "
+                  "population run --save)", file=sys.stderr)
+            return 2
+        with open(args.load, "r", encoding="utf-8") as stream:
+            aggregate = aggregate_from_data(json.load(stream))
+        print(render_population_report(aggregate,
+                                       bootstrap_seed=args.bootstrap_seed,
+                                       resamples=args.resamples))
+        return 0
+
+    spec = PopulationSpec(machines=args.machines, seed=args.seed)
+    stats = SampleStats()
+    profiles = sample_population(spec, stats=stats)
+
+    if args.action == "sample":
+        print(f"population seed {args.seed}: {stats.machines} machines")
+        print(f"  never disconnect      {stats.zero_disconnection_machines}")
+        print(f"  investigator users    {stats.investigator_machines}")
+        print(f"  stat triples clamped  {stats.stats_clamped}")
+        activities = sorted(p.activity for p in profiles)
+        print(f"  activity range        {activities[0]:.3f} - "
+              f"{activities[-1]:.3f}")
+        preview = profiles[:min(10, len(profiles))]
+        print(f"  first {len(preview)} profiles:")
+        for profile in preview:
+            print(f"    {profile.name}  days={profile.days_measured:<4d} "
+                  f"disconnections={profile.n_disconnections:<4d} "
+                  f"activity={profile.activity:.2f} "
+                  f"hoard={profile.hoard_size_bytes // MB}MB"
+                  + ("  +inv" if profile.uses_investigators else ""))
+        return 0
+
+    from repro.observability import Metrics
+    from repro.simulation.runner import population_grid, run_shards
+    metrics = Metrics()
+    window = WEEK if args.weekly else DAY
+    grid = population_grid(args.machines, args.seed, days=args.days,
+                           window_seconds=window,
+                           fault_profile=args.fault_profile,
+                           fault_seed=args.fault_seed)
+    aggregate = PopulationAggregate(population_seed=args.seed,
+                                    days=args.days)
+    progress = (lambda msg: print(msg, file=sys.stderr)) \
+        if args.progress else None
+    run_shards(grid, jobs=args.jobs, checkpoint_dir=args.checkpoint_dir,
+               resume=args.resume, metrics=metrics, store=args.store,
+               consume=aggregate.consume, progress=progress)
+    metrics.incr("population.machines", aggregate.machines)
+    metrics.incr("population.machines_zero_disconnections",
+                 stats.zero_disconnection_machines)
+    metrics.incr("population.machines_investigators",
+                 stats.investigator_machines)
+    metrics.incr("population.profiles_clamped", stats.stats_clamped)
+    metrics.incr("population.disconnections_replayed",
+                 sum(c.disconnections for c in aggregate.cells))
+    metrics.incr("population.disconnections_failed",
+                 sum(c.failed_disconnections for c in aggregate.cells))
+    if args.fault_profile:
+        print(f"(fault profile {args.fault_profile!r}, "
+              f"fault seed {args.fault_seed})", file=sys.stderr)
+    print(render_population_report(aggregate,
+                                   bootstrap_seed=args.bootstrap_seed,
+                                   resamples=args.resamples))
+    if args.save:
+        with open(args.save, "w", encoding="utf-8") as stream:
+            json.dump(aggregate_to_data(aggregate), stream)
+        print(f"(wrote {args.save})", file=sys.stderr)
+    if args.metrics:
+        _print_metrics(metrics.snapshot())
+    return 0
+
+
 def cmd_sweep(args) -> int:
     trace = _trace_for(args)
     values = [_coerce(v) for v in args.values]
@@ -386,6 +474,51 @@ def build_parser() -> argparse.ArgumentParser:
                          help="print service.* and absorbed per-tenant "
                               "pipeline counters to stderr at shutdown")
     service.set_defaults(handler=cmd_service)
+
+    population = commands.add_parser(
+        "population",
+        help="fleet-scale synthetic-population study (docs/population.md)")
+    population.add_argument(
+        "action", nargs="?", default="run",
+        choices=("run", "sample", "report"),
+        help="'run' (default) runs the grid and renders the report; "
+             "'sample' prints the sampled profiles without simulating; "
+             "'report' re-renders a report from a --load file")
+    population.add_argument("--machines", type=int, default=100, metavar="N",
+                            help="synthetic machines to sample (default "
+                                 "100)")
+    population.add_argument("--seed", type=int, default=7,
+                            help="population master seed; every machine "
+                                 "is a pure function of (seed, index)")
+    population.add_argument("--days", type=float, default=3.0,
+                            help="simulated deployment length per machine "
+                                 "(default 3; population cost scales "
+                                 "linearly with this)")
+    population.add_argument("--weekly", action="store_true",
+                            help="7-day miss-free windows instead of "
+                                 "24-hour")
+    population.add_argument("--resamples", type=int, default=1000,
+                            help="bootstrap resamples behind the 95%% "
+                                 "confidence bands (default 1000)")
+    population.add_argument("--bootstrap-seed", type=int, default=0,
+                            help="seed of the bootstrap resampling stream "
+                                 "(default 0; bands are deterministic for "
+                                 "a fixed seed)")
+    population.add_argument("--save", metavar="FILE",
+                            help="also write the per-machine scorecards "
+                                 "as JSON (re-render later with "
+                                 "'population report --load FILE')")
+    population.add_argument("--load", metavar="FILE",
+                            help="scorecard JSON for the 'report' action")
+    population.add_argument("--progress", action="store_true",
+                            help="print per-cell completion lines to "
+                                 "stderr")
+    _add_runner_arguments(population)
+    _add_fault_arguments(population)
+    population.add_argument("--metrics", action="store_true",
+                            help="print runner, ingestion and "
+                                 "population.* counters to stderr")
+    population.set_defaults(handler=cmd_population)
 
     sweep = commands.add_parser("sweep", help="sweep one SEER parameter")
     _add_machine_arguments(sweep)

@@ -104,7 +104,7 @@ class LintConfig:
     # RL006: the serde module and the checkpoint payload roots.
     serde_module_path: str = "repro/simulation/serde.py"
     serde_roots: Tuple[str, ...] = ("ShardSpec", "MissFreeResult",
-                                    "LiveResult")
+                                    "LiveResult", "PopulationCellResult")
     # RL006: roots serialized by dataclasses.asdict rather than by a
     # hand-written pair in the serde module (field types still checked).
     asdict_roots: Tuple[str, ...] = ("ShardSpec",)
@@ -120,6 +120,7 @@ class LintConfig:
         "repro/observability/",
         "repro/lint/",
         "repro/service/",
+        "repro/workload/",
     )
 
 

@@ -98,6 +98,8 @@ METRICS: Tuple[MetricSpec, ...] = (
                "per-shard compute time, live replay cells"),
     MetricSpec("runner.shard.objective", "timer",
                "per-shard compute time, tuning-objective cells"),
+    MetricSpec("runner.shard.population", "timer",
+               "per-shard compute time, reduced population cells"),
     MetricSpec("runner.machine.*", "timer",
                "per-machine compute time (one timer per trace machine)"),
     # -- checkpoint state store (repro.simulation.store) ---------------
@@ -112,6 +114,20 @@ METRICS: Tuple[MetricSpec, ...] = (
                "superseded/corrupt/stale entries removed by compact()"),
     MetricSpec("runner.store.bytes_on_disk", "counter",
                "bytes the checkpoint store occupies after the sweep"),
+    # -- population studies (repro.workload.population) ----------------
+    MetricSpec("population.machines", "counter",
+               "synthetic machines aggregated into the population report"),
+    MetricSpec("population.machines_zero_disconnections", "counter",
+               "sampled machines whose profile never disconnects"),
+    MetricSpec("population.machines_investigators", "counter",
+               "sampled machines running investigators"),
+    MetricSpec("population.profiles_clamped", "counter",
+               "sampled disconnection triples forced into fit validity"),
+    MetricSpec("population.disconnections_replayed", "counter",
+               "disconnections replayed across the population's live "
+               "passes"),
+    MetricSpec("population.disconnections_failed", "counter",
+               "replayed disconnections that suffered at least one miss"),
     # -- fault injection -----------------------------------------------
     MetricSpec("faults.injected_total", "counter",
                "all injected fault events, summed across kinds"),

@@ -31,6 +31,10 @@ from repro.simulation.missfree import (
     WindowResult,
     simulate_miss_free,
 )
+from repro.simulation.population import (
+    PopulationCellResult,
+    simulate_population_cell,
+)
 from repro.simulation.stats import SummaryStatistics, ci99_halfwidth, summarize
 from repro.simulation.runner import (
     RunStats,
@@ -38,6 +42,7 @@ from repro.simulation.runner import (
     ShardSpec,
     execute_shard,
     figure2_grid,
+    population_grid,
     reproduction_grid,
     run_shards,
 )
@@ -78,6 +83,7 @@ __all__ = [
     "JsonDirStore",
     "LiveResult",
     "MissFreeResult",
+    "PopulationCellResult",
     "RunStats",
     "SIM_PARAMETERS",
     "ShardOutcome",
@@ -90,9 +96,11 @@ __all__ = [
     "execute_shard",
     "figure2_grid",
     "open_store",
+    "population_grid",
     "reproduction_grid",
     "run_shards",
     "simulate_live_usage",
     "simulate_miss_free",
+    "simulate_population_cell",
     "summarize",
 ]

@@ -18,6 +18,7 @@ import zlib
 from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional, Sequence, Set, Tuple
 
+from repro.baselines.coda_priority import CodaPriorityManager, CodaVariant
 from repro.baselines.lru import lru_miss_free_size
 from repro.baselines.spy_utility import SpyUtilityManager
 from repro.baselines.optimal import working_set_size
@@ -65,6 +66,7 @@ class WindowResult:
     lru_bytes: int
     uncoverable_files: int
     spy_bytes: int = 0   # SPY UTILITY's size, when include_spy is set
+    coda_bytes: int = 0  # CODA's size, when include_coda is set
 
     @property
     def seer_overhead(self) -> float:
@@ -111,6 +113,10 @@ class MissFreeResult:
     @property
     def mean_spy(self) -> float:
         return self._mean([w.spy_bytes for w in self.windows])
+
+    @property
+    def mean_coda(self) -> float:
+        return self._mean([w.coda_bytes for w in self.windows])
 
     @property
     def lru_to_seer_ratio(self) -> float:
@@ -178,12 +184,20 @@ def simulate_miss_free(trace: GeneratedTrace, window_seconds: float,
                        parameters: Optional[SeerParameters] = None,
                        use_investigators: bool = False,
                        seed: int = 0,
-                       include_spy: bool = False) -> MissFreeResult:
+                       include_spy: bool = False,
+                       include_coda: bool = False) -> MissFreeResult:
     """Replay *trace* with fixed simulated disconnection windows.
 
     At each window boundary the hoard is recomputed from everything
     observed so far, and the three measures are evaluated against the
     set of files referenced in the *following* window.
+
+    *include_coda* also scores the CODA priority baseline (BOUNDED
+    variant, section 6.2's "global bound" reading) with **no hoard
+    profiles loaded**: the paper's finding is precisely that CODA's
+    formula needs ongoing hand management nobody performs, so it is
+    measured the way an unmanaged population would actually run it.
+    Like LRU, it sees the raw reference stream including stats.
     """
     if parameters is None:
         from repro.simulation import SIM_PARAMETERS
@@ -222,6 +236,7 @@ def simulate_miss_free(trace: GeneratedTrace, window_seconds: float,
     lru_recency: Dict[str, int] = {}
     lru_counter = 0
     spy = SpyUtilityManager() if include_spy else None
+    coda = CodaPriorityManager(CodaVariant.BOUNDED) if include_coda else None
 
     result = MissFreeResult(trace.machine.name, window_seconds,
                             use_investigators, seed)
@@ -231,6 +246,8 @@ def simulate_miss_free(trace: GeneratedTrace, window_seconds: float,
             if _is_relevant_reference(record, trace, ops=_LRU_FEED_OPS):
                 lru_counter += 1
                 lru_recency[record.path] = lru_counter
+                if coda is not None:
+                    coda.reference(record.path)
             if spy is not None:
                 _feed_spy(spy, record, trace)
         needed = needed_sets[index + 1]
@@ -254,6 +271,9 @@ def simulate_miss_free(trace: GeneratedTrace, window_seconds: float,
         spy_bytes = 0
         if spy is not None:
             spy_bytes, _ = spy.miss_free_size(set(coverable), sizes)
+        coda_bytes = 0
+        if coda is not None:
+            coda_bytes, _ = coda.miss_free_size(set(coverable), sizes)
         result.windows.append(WindowResult(
             index=index,
             start=start_time + index * window_seconds,
@@ -263,7 +283,8 @@ def simulate_miss_free(trace: GeneratedTrace, window_seconds: float,
             seer_bytes=seer_bytes,
             lru_bytes=lru_bytes,
             uncoverable_files=len(uncoverable),
-            spy_bytes=spy_bytes))
+            spy_bytes=spy_bytes,
+            coda_bytes=coda_bytes))
     result.metrics = seer.metrics.snapshot()
     return result
 

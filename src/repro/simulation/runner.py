@@ -91,7 +91,7 @@ class ShardSpec:
     exact parameters without access to the caller's objects.
     """
 
-    kind: str           # "missfree" | "live" | "objective" | "service"
+    kind: str   # "missfree" | "live" | "population" | "objective" | "service"
     machine: str
     trace_seed: int
     days: float
@@ -109,11 +109,13 @@ class ShardSpec:
         # "service" cells are never executed by this runner -- the
         # hoard daemon (repro.service) reuses ShardSpec purely as the
         # checkpoint-store key for a tenant's correlator state.
-        if self.kind not in ("missfree", "live", "objective", "service"):
+        if self.kind not in ("missfree", "live", "population", "objective",
+                             "service"):
             raise ValueError(f"unknown shard kind: {self.kind!r}")
         if self.fault_profile is not None:
-            if self.kind != "live":
-                raise ValueError("fault profiles apply to live cells only")
+            if self.kind not in ("live", "population"):
+                raise ValueError("fault profiles apply to live and "
+                                 "population cells only")
             from repro.faults import profile_from_name
             profile_from_name(self.fault_profile)   # validate eagerly
 
@@ -202,6 +204,32 @@ def reproduction_grid(machines: Sequence[str], days: float, seed: int,
     return shards
 
 
+def population_grid(machines: int, population_seed: int, days: float,
+                    window_seconds: float = DAY,
+                    fault_profile: Optional[str] = None,
+                    fault_seed: int = 0) -> List[ShardSpec]:
+    """One reduced ``population`` cell per synthetic machine.
+
+    The trace seed is the machine's own crc32-derived seed, so the
+    whole cell -- profile, schedule, trace, both replays -- is a pure
+    function of ``(population_seed, index)`` and the grid arguments.
+    Machines that Table 4 would mark as investigator users run with
+    investigators, following the sampled profile.
+    """
+    from repro.workload import (machine_seed, population_machine_name,
+                                sample_profile)
+    shards: List[ShardSpec] = []
+    for index in range(machines):
+        profile = sample_profile(population_seed, index)
+        shards.append(ShardSpec(
+            "population", population_machine_name(population_seed, index),
+            machine_seed(population_seed, index), days,
+            window_seconds=window_seconds,
+            use_investigators=profile.uses_investigators,
+            fault_profile=fault_profile, fault_seed=fault_seed))
+    return shards
+
+
 # ----------------------------------------------------------------------
 # worker side
 # ----------------------------------------------------------------------
@@ -215,10 +243,13 @@ def _trace_for(machine: str, seed: int, days: float) -> "GeneratedTrace":
     key = (machine, seed, days)
     trace = _TRACE_CACHE.get(key)
     if trace is None:
-        from repro.workload import generate_machine_trace, machine_profile
+        # resolve_profile covers Table 3's nine machines *and* synthetic
+        # population members (pop<seed>-<index>) from the name alone, so
+        # any worker process can rebuild any cell's trace.
+        from repro.workload import generate_machine_trace, resolve_profile
         if len(_TRACE_CACHE) >= _TRACE_CACHE_LIMIT:
             _TRACE_CACHE.clear()
-        trace = generate_machine_trace(machine_profile(machine), seed=seed,
+        trace = generate_machine_trace(resolve_profile(machine), seed=seed,
                                        days=days)
         _TRACE_CACHE[key] = trace
     return trace
@@ -244,6 +275,13 @@ def execute_shard(spec: ShardSpec) -> ShardResult:
                                    size_seed=spec.size_seed,
                                    fault_profile=spec.fault_profile,
                                    fault_seed=spec.fault_seed)
+    if spec.kind == "population":
+        from repro.simulation.population import simulate_population_cell
+        return simulate_population_cell(
+            trace, spec.window_seconds or DAY, parameters=parameters,
+            use_investigators=spec.use_investigators,
+            size_seed=spec.size_seed, fault_profile=spec.fault_profile,
+            fault_seed=spec.fault_seed)
     # "objective": the tuning score for this (parameters, machine) cell.
     from repro.tuning.objective import hoard_overhead_objective
     return hoard_overhead_objective(trace, parameters,

@@ -10,7 +10,8 @@ stored by name, and nested dataclasses become tagged dictionaries.
 
 ``result_to_data``/``result_from_data`` dispatch on a ``"type"`` tag so
 the runner can checkpoint heterogeneous grids (miss-free cells, live
-cells and tuning-objective cells) into one results directory.
+cells, reduced population cells and tuning-objective cells) into one
+results directory.
 
 Persistence itself lives one layer up, in
 :mod:`repro.simulation.store`: this module only defines the payload
@@ -32,10 +33,11 @@ from repro.simulation.live import (
     RecordedMiss,
 )
 from repro.simulation.missfree import MissFreeResult, WindowResult
+from repro.simulation.population import PopulationCellResult
 from repro.workload.sessions import Period, PeriodKind
 
 #: Anything the runner knows how to checkpoint.
-ShardResult = Union[MissFreeResult, LiveResult, float]
+ShardResult = Union[MissFreeResult, LiveResult, PopulationCellResult, float]
 
 
 def canonical_bytes(data: Dict) -> bytes:
@@ -77,6 +79,7 @@ def _window_to_data(window: WindowResult) -> Dict:
         "lru_bytes": window.lru_bytes,
         "uncoverable_files": window.uncoverable_files,
         "spy_bytes": window.spy_bytes,
+        "coda_bytes": window.coda_bytes,
     }
 
 
@@ -182,6 +185,56 @@ def live_from_data(data: Dict) -> LiveResult:
 
 
 # ----------------------------------------------------------------------
+# population cells
+# ----------------------------------------------------------------------
+def population_to_data(result: PopulationCellResult) -> Dict:
+    return {
+        "type": "population",
+        "machine": result.machine,
+        "activity": result.activity,
+        "n_disconnections": result.n_disconnections,
+        "uses_investigators": result.uses_investigators,
+        "hoard_budget": result.hoard_budget,
+        "window_seconds": result.window_seconds,
+        "windows": result.windows,
+        "referenced_files": result.referenced_files,
+        "mean_working_set": result.mean_working_set,
+        "mean_seer": result.mean_seer,
+        "mean_lru": result.mean_lru,
+        "mean_spy": result.mean_spy,
+        "mean_coda": result.mean_coda,
+        "disconnections": result.disconnections,
+        "failed_disconnections": result.failed_disconnections,
+        "automatic_detections": result.automatic_detections,
+        "median_first_miss_hours": result.median_first_miss_hours,
+        "metrics": result.metrics,
+    }
+
+
+def population_from_data(data: Dict) -> PopulationCellResult:
+    return PopulationCellResult(
+        machine=data["machine"],
+        activity=data["activity"],
+        n_disconnections=data["n_disconnections"],
+        uses_investigators=data["uses_investigators"],
+        hoard_budget=data["hoard_budget"],
+        window_seconds=data["window_seconds"],
+        windows=data["windows"],
+        referenced_files=data["referenced_files"],
+        mean_working_set=data["mean_working_set"],
+        mean_seer=data["mean_seer"],
+        mean_lru=data["mean_lru"],
+        mean_spy=data["mean_spy"],
+        mean_coda=data["mean_coda"],
+        disconnections=data["disconnections"],
+        failed_disconnections=data["failed_disconnections"],
+        automatic_detections=data["automatic_detections"],
+        median_first_miss_hours=data["median_first_miss_hours"],
+        metrics=data["metrics"],
+    )
+
+
+# ----------------------------------------------------------------------
 # dispatch
 # ----------------------------------------------------------------------
 def result_to_data(result: ShardResult) -> Dict:
@@ -190,6 +243,8 @@ def result_to_data(result: ShardResult) -> Dict:
         return missfree_to_data(result)
     if isinstance(result, LiveResult):
         return live_to_data(result)
+    if isinstance(result, PopulationCellResult):
+        return population_to_data(result)
     if isinstance(result, (int, float)) and not isinstance(result, bool):
         return {"type": "objective", "score": float(result)}
     raise TypeError(f"cannot serialize shard result: {type(result)!r}")
@@ -215,6 +270,8 @@ def result_from_data(data: Dict) -> ShardResult:
         return missfree_from_data(data)
     if kind == "live":
         return live_from_data(data)
+    if kind == "population":
+        return population_from_data(data)
     if kind == "objective":
         return data["score"]
     raise ValueError(f"unknown shard result type: {kind!r}")

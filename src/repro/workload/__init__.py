@@ -13,6 +13,17 @@ Table 3's statistics.
 
 from repro.workload.generator import GeneratedTrace, UserModel, generate_machine_trace
 from repro.workload.machines import MACHINES, MachineProfile, machine_profile
+from repro.workload.population import (
+    PopulationSpec,
+    SampleStats,
+    is_population_machine,
+    machine_seed,
+    parse_population_machine,
+    population_machine_name,
+    resolve_profile,
+    sample_population,
+    sample_profile,
+)
 from repro.workload.projects import (
     CProject,
     DocumentProject,
@@ -36,11 +47,20 @@ __all__ = [
     "MailProject",
     "Period",
     "PeriodKind",
+    "PopulationSpec",
     "Project",
+    "SampleStats",
     "Schedule",
     "UserModel",
     "build_system_tree",
     "generate_machine_trace",
     "generate_schedule",
+    "is_population_machine",
     "machine_profile",
+    "machine_seed",
+    "parse_population_machine",
+    "population_machine_name",
+    "resolve_profile",
+    "sample_population",
+    "sample_profile",
 ]

@@ -331,7 +331,12 @@ def generate_machine_trace(profile: MachineProfile, seed: int = 0,
 
     span_days = days if days is not None else float(profile.days_measured)
     scale = span_days / float(profile.days_measured)
-    n_disconnections = max(2, int(round(profile.n_disconnections * scale)))
+    # Short runs keep at least two disconnections so tests exercise
+    # the disconnection machinery -- but never more than the profile
+    # itself has: a sampled population machine that never disconnected
+    # (profile.n_disconnections == 0) stays fully connected.
+    floor = min(2, profile.n_disconnections)
+    n_disconnections = max(floor, int(round(profile.n_disconnections * scale)))
     schedule = generate_schedule(
         n_disconnections=n_disconnections,
         mean_hours=profile.mean_disconnection_hours,

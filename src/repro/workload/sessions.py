@@ -91,6 +91,38 @@ def fit_lognormal(mean: float, median: float) -> Tuple[float, float]:
     return mu, sigma
 
 
+def clamp_disconnection_stats(mean_hours: float, median_hours: float,
+                              max_hours: float,
+                              minimum_hours: float = 0.25
+                              ) -> Tuple[float, float, float, bool]:
+    """Force a (mean, median, max) duration tuple into fit validity.
+
+    :func:`fit_lognormal` requires ``0 < median <= mean`` and the clamp
+    loop in :func:`generate_schedule` assumes ``mean <= max``.  Table 3
+    satisfies both by construction, but *sampled* tuples -- the
+    population synthesizer draws each statistic from its own fitted
+    distribution -- can land anywhere, and an invalid draw must not
+    raise in the middle of a thousand-machine grid.  The repair is
+    monotone: every value is floored at *minimum_hours*, the median is
+    pulled down to the mean, and the max is pulled up to the mean.
+
+    Returns the repaired ``(mean, median, max)`` plus a flag saying
+    whether anything had to change (the population sampler counts
+    these as ``population.stats_clamped``).
+    """
+    floor = max(minimum_hours, 1e-6)
+    mean = mean_hours if mean_hours > floor else floor
+    median = median_hours if median_hours > floor else floor
+    maximum = max_hours if max_hours > floor else floor
+    if median > mean:
+        median = mean
+    if maximum < mean:
+        maximum = mean
+    clamped = (mean != mean_hours or median != median_hours or
+               maximum != max_hours)
+    return mean, median, maximum, clamped
+
+
 def generate_schedule(n_disconnections: int, mean_hours: float,
                       median_hours: float, max_hours: float,
                       days: float, rng: Optional[random.Random] = None,
@@ -104,6 +136,13 @@ def generate_schedule(n_disconnections: int, mean_hours: float,
     remaining span evenly with jitter.
     """
     rng = rng if rng is not None else random.Random(0)
+    if n_disconnections <= 0:
+        # A machine that never disconnected (population sampling draws
+        # such profiles; Table 3 itself has none).  The whole span is
+        # one connected period -- without this the duration-rescale
+        # loop below divides by len(durations) == 0.
+        return Schedule(periods=[Period(PeriodKind.CONNECTED, 0.0,
+                                        days * DAY)])
     mu, sigma = fit_lognormal(mean_hours, median_hours)
     durations = []
     for _ in range(n_disconnections):
@@ -154,18 +193,46 @@ def squash_brief_periods(schedule: Schedule,
     transfer mail or service a miss), which reduces the disconnection
     count and raises the mean duration -- a perturbation the paper
     notes is detrimental to SEER.
+
+    The result keeps three invariants the simulators depend on
+    (pinned by a hypothesis property in ``tests/workload``):
+
+    * top-level periods alternate kinds and tile the original timeline
+      exactly (suspensions are nested, not top-level);
+    * no surviving disconnection is shorter than the minimum -- a brief
+      one at the head of the schedule, with no predecessor to merge
+      into, simply becomes connected time;
+    * every surviving suspension lies inside a surviving disconnection.
+      A suspension whose disconnection was dropped or relabelled is
+      dropped with it instead of being orphaned inside connected time
+      (where it would also wedge between two connected periods and
+      block their merge).
     """
-    result: List[Period] = []
+    suspensions = [p for p in schedule.periods
+                   if p.kind is PeriodKind.SUSPENDED]
+    merged: List[Period] = []
     for period in schedule.periods:
+        if period.kind is PeriodKind.SUSPENDED:
+            continue
         if period.kind is PeriodKind.DISCONNECTED and \
                 period.duration < minimum_seconds:
             period = Period(PeriodKind.CONNECTED, period.start, period.end)
         if period.kind is PeriodKind.CONNECTED and \
-                period.duration < minimum_seconds and result and \
-                result[-1].kind is PeriodKind.DISCONNECTED:
+                period.duration < minimum_seconds and merged and \
+                merged[-1].kind is PeriodKind.DISCONNECTED:
             period = Period(PeriodKind.DISCONNECTED, period.start, period.end)
-        if result and result[-1].kind is period.kind:
-            result[-1] = Period(period.kind, result[-1].start, period.end)
+        if merged and merged[-1].kind is period.kind:
+            merged[-1] = Period(period.kind, merged[-1].start, period.end)
         else:
-            result.append(period)
+            merged.append(period)
+    # Re-nest the suspensions that still fall inside a disconnection,
+    # each immediately after its containing period (the layout
+    # generate_schedule produces).
+    result: List[Period] = []
+    for period in merged:
+        result.append(period)
+        if period.kind is PeriodKind.DISCONNECTED:
+            result.extend(s for s in suspensions
+                          if period.start <= s.start and
+                          s.end <= period.end)
     return Schedule(periods=result)

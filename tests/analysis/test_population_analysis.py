@@ -1,0 +1,149 @@
+"""Population analysis: percentiles, bootstrap bands, report rendering.
+
+These tests run on hand-built scorecards so they stay in
+milliseconds; the end-to-end pipeline (sampler -> runner -> report) is
+pinned byte-for-byte by ``tests/golden/test_golden_population.py``.
+"""
+
+import pytest
+
+from repro.analysis.population import (
+    MB,
+    PopulationAggregate,
+    aggregate_from_data,
+    aggregate_to_data,
+    band_seed,
+    bootstrap_band,
+    percentile,
+    render_population_report,
+)
+from repro.simulation.population import PopulationCellResult
+from repro.simulation.runner import ShardOutcome, ShardSpec
+
+
+def make_cell(index: int, activity: float = 0.3,
+              n_disconnections: int = 40,
+              failed: int = 0) -> PopulationCellResult:
+    return PopulationCellResult(
+        machine=f"pop7-{index:06d}",
+        activity=activity,
+        n_disconnections=n_disconnections,
+        uses_investigators=index % 3 == 0,
+        hoard_budget=500_000,
+        window_seconds=86400.0,
+        windows=3,
+        referenced_files=120 + index,
+        mean_working_set=(1.0 + 0.1 * index) * MB,
+        mean_seer=(1.2 + 0.1 * index) * MB,
+        mean_lru=(2.5 + 0.2 * index) * MB,
+        mean_spy=(1.3 + 0.1 * index) * MB,
+        mean_coda=(2.4 + 0.2 * index) * MB,
+        disconnections=4,
+        failed_disconnections=failed,
+        automatic_detections=failed,
+        median_first_miss_hours=0.5 if failed else 0.0,
+        metrics={"correlator.ingest.count": 10.0} if index == 0 else None,
+    )
+
+
+def make_aggregate(machines: int = 12) -> PopulationAggregate:
+    aggregate = PopulationAggregate(population_seed=7, days=3.0)
+    for index in range(machines):
+        spec = ShardSpec("population", f"pop7-{index:06d}", index, 3.0,
+                         window_seconds=86400.0)
+        aggregate.consume(ShardOutcome(spec=spec,
+                                       result=make_cell(index,
+                                                        failed=index % 4)))
+    return aggregate
+
+
+class TestPercentile:
+    def test_empty_and_single(self):
+        assert percentile([], 50.0) == 0.0
+        assert percentile([3.0], 95.0) == 3.0
+
+    def test_interpolates(self):
+        values = [0.0, 10.0]
+        assert percentile(values, 0.0) == 0.0
+        assert percentile(values, 50.0) == 5.0
+        assert percentile(values, 100.0) == 10.0
+
+    def test_order_independent(self):
+        assert percentile([5.0, 1.0, 3.0], 50.0) == 3.0
+
+
+class TestBootstrapBand:
+    def test_deterministic_for_a_seed(self):
+        values = [float(v) for v in range(20)]
+        assert bootstrap_band(values, 7) == bootstrap_band(values, 7)
+        assert bootstrap_band(values, 7) != bootstrap_band(values, 8)
+
+    def test_band_brackets_the_mean(self):
+        values = [float(v) for v in range(20)]
+        low, high = bootstrap_band(values, 3)
+        mean = sum(values) / len(values)
+        assert low <= mean <= high
+        assert low < high
+
+    def test_degenerate_inputs(self):
+        assert bootstrap_band([], 1) == (0.0, 0.0)
+        assert bootstrap_band([4.2], 1) == (4.2, 4.2)
+
+    def test_band_seed_is_crc32_stable(self):
+        # Pinned: a drifting bootstrap seed would silently change
+        # every committed report band.
+        assert band_seed(0, "SEER") == 2823377612
+
+
+class TestAggregate:
+    def test_consume_strips_metrics(self):
+        aggregate = make_aggregate(3)
+        assert aggregate.machines == 3
+        assert all(cell.metrics is None for cell in aggregate.cells)
+
+    def test_consume_rejects_foreign_results(self):
+        aggregate = PopulationAggregate(population_seed=7, days=3.0)
+        spec = ShardSpec("objective", "E", 1, 3.0, window_seconds=86400.0)
+        with pytest.raises(TypeError, match="population aggregate"):
+            aggregate.consume(ShardOutcome(spec=spec, result=1.5))
+
+    def test_persistence_round_trip(self):
+        aggregate = make_aggregate(5)
+        again = aggregate_from_data(aggregate_to_data(aggregate))
+        assert again.population_seed == aggregate.population_seed
+        assert again.days == aggregate.days
+        assert again.cells == aggregate.cells
+
+
+class TestRenderReport:
+    def test_empty_population(self):
+        empty = PopulationAggregate(population_seed=7, days=3.0)
+        assert "no machines" in render_population_report(empty)
+
+    def test_sections_present(self):
+        report = render_population_report(make_aggregate(), resamples=50)
+        assert "Population report: 12 machines (seed 7)" in report
+        assert "95% bootstrap band" in report
+        assert "percentiles (MB)" in report
+        assert "Population curve" in report
+        assert "by activity:" in report
+        assert "by disconnection regime:" in report
+        assert "Deployment effectiveness" in report
+        for algorithm in ("SEER", "LRU", "SPY", "CODA", "working set"):
+            assert algorithm in report
+
+    def test_rendering_is_deterministic(self):
+        aggregate = make_aggregate()
+        assert render_population_report(aggregate, resamples=50) == \
+            render_population_report(aggregate, resamples=50)
+
+    def test_empty_strata_render_gracefully(self):
+        aggregate = PopulationAggregate(population_seed=7, days=3.0)
+        spec = ShardSpec("population", "pop7-000000", 0, 3.0,
+                         window_seconds=86400.0)
+        aggregate.consume(ShardOutcome(
+            spec=spec, result=make_cell(0, activity=0.9,
+                                        n_disconnections=0)))
+        report = render_population_report(aggregate, resamples=50)
+        assert "(no machines)" in report     # the empty strata
+        assert "never (0)" in report

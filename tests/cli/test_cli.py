@@ -131,3 +131,59 @@ class TestFaultFlags:
                      "--fault-profile", "lossy", "--fault-seed", "1"]) == 0
         out = capsys.readouterr().out
         assert "SEER reproduction report" in out
+
+
+class TestPopulationCommand:
+    def test_sample_prints_profiles_without_simulating(self, capsys):
+        assert main(["population", "sample", "--machines", "8",
+                     "--seed", "7"]) == 0
+        out = capsys.readouterr().out
+        assert "population seed 7: 8 machines" in out
+        assert "pop7-000000" in out
+        assert "investigator users" in out
+
+    def test_run_is_the_default_action(self, capsys):
+        assert main(["population", "--machines", "3", "--seed", "7",
+                     "--days", "2", "--resamples", "50"]) == 0
+        out = capsys.readouterr().out
+        assert "Population report: 3 machines (seed 7)" in out
+        assert "95% bootstrap band" in out
+        for algorithm in ("SEER", "LRU", "SPY", "CODA"):
+            assert algorithm in out
+
+    def test_save_then_report_renders_identically(self, tmp_path, capsys):
+        saved = str(tmp_path / "population.json")
+        assert main(["population", "run", "--machines", "3", "--seed", "7",
+                     "--days", "2", "--resamples", "50",
+                     "--save", saved]) == 0
+        first = capsys.readouterr().out
+        assert main(["population", "report", "--load", saved,
+                     "--resamples", "50"]) == 0
+        assert capsys.readouterr().out == first
+
+    def test_report_without_load_fails(self, capsys):
+        assert main(["population", "report"]) == 2
+        assert "--load" in capsys.readouterr().err
+
+    def test_checkpoint_resume_reuses_every_cell(self, tmp_path, capsys):
+        checkpoint_dir = str(tmp_path / "ckpt")
+        arguments = ["population", "--machines", "3", "--seed", "7",
+                     "--days", "2", "--resamples", "50", "--store", "sqlite",
+                     "--checkpoint-dir", checkpoint_dir]
+        assert main(arguments) == 0
+        first = capsys.readouterr().out
+        assert main(arguments + ["--resume", "--metrics"]) == 0
+        captured = capsys.readouterr()
+        assert captured.out == first
+        assert "runner.shards_from_checkpoint" in captured.err
+        assert "population.machines" in captured.err
+
+    def test_fault_flags_accepted(self, capsys):
+        assert main(["population", "--machines", "2", "--seed", "7",
+                     "--days", "2", "--resamples", "50",
+                     "--fault-profile", "flaky", "--fault-seed", "3",
+                     "--metrics"]) == 0
+        captured = capsys.readouterr()
+        assert "Population report: 2 machines" in captured.out
+        assert "fault profile 'flaky'" in captured.err
+        assert "faults.injected_total" in captured.err

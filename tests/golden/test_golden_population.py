@@ -1,0 +1,38 @@
+"""Golden pin for the population pipeline, sampler to report.
+
+One fixture covers the whole fleet-scale path: 32 machines sampled
+from population seed 7, run through the parallel runner's serial path
+as reduced ``population`` cells, aggregated through the streaming
+``consume=`` callback, and rendered with seeded bootstrap bands.  Any
+drift in the sampler's distributions, the per-machine crc32 seeds, the
+schedule/trace generators, either simulator, the serde, or the report
+renderer shows up as a byte diff here.
+"""
+
+import pytest
+
+from repro.analysis.population import (
+    PopulationAggregate,
+    render_population_report,
+)
+from repro.simulation.runner import population_grid, run_shards
+
+MACHINES = 32
+SEED = 7
+DAYS = 2.0
+
+
+@pytest.fixture(scope="module")
+def aggregate():
+    aggregate = PopulationAggregate(population_seed=SEED, days=DAYS)
+    returned = run_shards(population_grid(MACHINES, SEED, days=DAYS),
+                          jobs=1, consume=aggregate.consume)
+    assert returned == []    # consume= streams; nothing materializes
+    return aggregate
+
+
+def test_population_report_pinned(golden, aggregate):
+    assert aggregate.machines == MACHINES
+    golden("population.txt",
+           render_population_report(aggregate, bootstrap_seed=0,
+                                    resamples=200))

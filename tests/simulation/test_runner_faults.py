@@ -27,7 +27,7 @@ class TestShardSpecFaults:
         assert spec.fault_seed == 2
 
     def test_fault_profile_rejected_on_missfree_cells(self):
-        with pytest.raises(ValueError, match="live cells only"):
+        with pytest.raises(ValueError, match="live and population cells"):
             ShardSpec("missfree", "E", 1, 5.0, window_seconds=86400.0,
                       fault_profile="flaky")
 

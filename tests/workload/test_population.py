@@ -1,0 +1,141 @@
+"""Tests for fleet-scale population synthesis (repro.workload.population)."""
+
+import pytest
+
+from repro.workload import generate_machine_trace
+from repro.workload.machines import MACHINES, MB
+from repro.workload.population import (
+    ACTIVITY,
+    DAYS_MEASURED,
+    INVESTIGATOR_FRACTION,
+    LARGE_HOARD_FRACTION,
+    PopulationSpec,
+    SampleStats,
+    is_population_machine,
+    machine_seed,
+    parse_population_machine,
+    population_machine_name,
+    resolve_profile,
+    sample_population,
+    sample_profile,
+)
+
+POP = PopulationSpec(machines=200, seed=11)
+
+
+@pytest.fixture(scope="module")
+def population():
+    return sample_population(POP)
+
+
+class TestNaming:
+    def test_round_trip(self):
+        name = population_machine_name(7, 42)
+        assert name == "pop7-000042"
+        assert parse_population_machine(name) == (7, 42)
+        assert is_population_machine(name)
+
+    def test_table3_names_not_population(self):
+        for name in MACHINES:
+            assert not is_population_machine(name)
+        assert parse_population_machine("F") is None
+
+    def test_seed_is_crc32_stable(self):
+        # Pinned values: the per-machine seed must never drift, or
+        # every checkpointed population grid silently invalidates.
+        assert machine_seed(7, 0) == 1845308495
+        assert machine_seed(7, 1) == 452599001
+        assert machine_seed(8, 0) != machine_seed(7, 0)
+
+
+class TestDeterminism:
+    def test_same_seed_identical_profiles(self, population):
+        again = sample_population(POP)
+        assert population == again
+
+    def test_different_seed_differs(self, population):
+        other = sample_population(PopulationSpec(machines=200, seed=12))
+        assert population != other
+
+    def test_profile_independent_of_population_size(self, population):
+        # Machine 17 of a 200-machine population is machine 17 of a
+        # 10,000-machine population: sampling is per-index, so grids
+        # can grow without invalidating earlier checkpoints.
+        assert sample_profile(POP.seed, 17) == population[17]
+
+    def test_resolver_round_trip(self, population):
+        assert resolve_profile(population[3].name) == population[3]
+        assert resolve_profile("F") is MACHINES["F"]
+
+    def test_resolver_rejects_unknown(self):
+        with pytest.raises(ValueError):
+            resolve_profile("Z")
+
+
+class TestSampledDistributions:
+    def test_fields_within_stretched_table3_ranges(self, population):
+        for profile in population:
+            assert 7 <= profile.days_measured <= 252 * 1.5 + 1
+            assert 0 <= profile.n_disconnections
+            assert 0 < profile.median_disconnection_hours \
+                <= profile.mean_disconnection_hours \
+                <= profile.max_disconnection_hours
+            assert 0.05 <= profile.activity <= 1.0
+            assert 1 <= profile.n_code_projects <= 16
+            assert 1 <= profile.n_document_projects <= 8
+            assert 0 < profile.attention_shift_rate < 0.1
+            assert profile.hoard_size_bytes in (50 * MB, 98 * MB)
+
+    def test_mixture_fractions_from_table3(self):
+        assert LARGE_HOARD_FRACTION == pytest.approx(1 / 9)
+        assert INVESTIGATOR_FRACTION == pytest.approx(3 / 9)
+
+    def test_fit_parameters_cover_observed_range(self):
+        assert DAYS_MEASURED.minimum == pytest.approx(71 / 1.5)
+        assert DAYS_MEASURED.maximum == pytest.approx(252 * 1.5)
+        assert ACTIVITY.minimum == pytest.approx(0.1 / 1.5)
+
+    def test_population_is_heterogeneous(self, population):
+        activities = {round(p.activity, 4) for p in population}
+        assert len(activities) > 100
+
+    def test_stats_collected(self):
+        stats = SampleStats()
+        sample_population(PopulationSpec(machines=1000, seed=7), stats=stats)
+        assert stats.machines == 1000
+        # The rarely-disconnected mixture makes zero-disconnection
+        # machines a real presence at fleet scale (the
+        # generate_schedule regression class).
+        assert stats.zero_disconnection_machines > 0
+        assert 0 < stats.investigator_machines < 1000
+
+
+class TestZeroDisconnectionTrace:
+    def test_trace_generates_without_disconnections(self):
+        stats = SampleStats()
+        population = sample_population(PopulationSpec(machines=1000, seed=7),
+                                       stats=stats)
+        zero = next(p for p in population if p.n_disconnections == 0)
+        trace = generate_machine_trace(zero, seed=1, days=7.0)
+        assert trace.schedule.disconnections() == []
+        assert len(trace.records) > 0
+
+    def test_table3_short_run_floor_unchanged(self):
+        # The floor still guarantees two disconnections for Table 3
+        # machines on short test runs.
+        trace = generate_machine_trace(MACHINES["E"], seed=1, days=1.0)
+        assert len(trace.schedule.disconnections()) >= 1
+
+
+class TestPopulationSpec:
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError):
+            PopulationSpec(machines=0, seed=1)
+
+    def test_rejects_negative_seed(self):
+        with pytest.raises(ValueError):
+            PopulationSpec(machines=1, seed=-1)
+
+    def test_names_in_index_order(self):
+        spec = PopulationSpec(machines=3, seed=5)
+        assert spec.names() == ["pop5-000000", "pop5-000001", "pop5-000002"]

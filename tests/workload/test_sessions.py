@@ -6,10 +6,12 @@ import pytest
 from hypothesis import given, settings, strategies as st
 
 from repro.workload.sessions import (
+    DAY,
     HOUR,
     Period,
     PeriodKind,
     Schedule,
+    clamp_disconnection_stats,
     fit_lognormal,
     generate_schedule,
     squash_brief_periods,
@@ -38,6 +40,53 @@ class TestFitLognormal:
     def test_invalid_rejected(self):
         with pytest.raises(ValueError):
             fit_lognormal(mean=0.0, median=1.0)
+
+
+class TestClampDisconnectionStats:
+    """The sampler-boundary hardening for fit_lognormal inputs."""
+
+    def test_valid_tuple_untouched(self):
+        mean, median, maximum, clamped = clamp_disconnection_stats(
+            9.3, 2.0, 90.0)
+        assert (mean, median, maximum) == (9.3, 2.0, 90.0)
+        assert not clamped
+
+    def test_median_above_mean_pulled_down(self):
+        mean, median, maximum, clamped = clamp_disconnection_stats(
+            2.0, 5.0, 90.0)
+        assert median == mean == 2.0
+        assert clamped
+        fit_lognormal(mean, median)   # must not raise
+
+    def test_max_below_mean_pulled_up(self):
+        mean, median, maximum, clamped = clamp_disconnection_stats(
+            10.0, 2.0, 4.0)
+        assert maximum == mean == 10.0
+        assert clamped
+
+    def test_zero_and_negative_floored(self):
+        mean, median, maximum, clamped = clamp_disconnection_stats(
+            0.0, -3.0, 0.0)
+        assert 0 < median <= mean <= maximum
+        assert clamped
+        fit_lognormal(mean, median)   # must not raise
+
+    @given(mean=st.floats(-10, 500), median=st.floats(-10, 500),
+           maximum=st.floats(-10, 500))
+    @settings(max_examples=200, deadline=None)
+    def test_always_fit_valid(self, mean, median, maximum):
+        m, md, mx, _ = clamp_disconnection_stats(mean, median, maximum)
+        assert 0 < md <= m <= mx
+        mu, sigma = fit_lognormal(m, md)
+        assert sigma >= 0.0
+
+    def test_schedule_from_degenerate_draw(self):
+        # End to end: a hostile sampled tuple must still schedule.
+        mean, median, maximum, _ = clamp_disconnection_stats(0.1, 7.0, 0.0)
+        schedule = generate_schedule(
+            n_disconnections=5, mean_hours=mean, median_hours=median,
+            max_hours=maximum, days=10, rng=random.Random(3))
+        assert len(schedule.disconnections()) == 5
 
 
 class TestGenerateSchedule:
@@ -98,6 +147,25 @@ class TestGenerateSchedule:
         assert [(p.kind, p.start, p.end) for p in a.periods] == \
             [(p.kind, p.start, p.end) for p in b.periods]
 
+    def test_zero_disconnections_all_connected(self):
+        # Regression: this raised ZeroDivisionError in the duration
+        # rescale loop.  Population sampling draws such machines.
+        schedule = self._schedule(n_disconnections=0, days=30)
+        assert schedule.disconnections() == []
+        assert schedule.suspensions() == []
+        assert [p.kind for p in schedule.periods] == [PeriodKind.CONNECTED]
+        assert schedule.total_duration == pytest.approx(30 * DAY)
+
+    def test_negative_disconnections_all_connected(self):
+        schedule = self._schedule(n_disconnections=-3, days=5)
+        assert schedule.disconnections() == []
+        assert schedule.total_duration == pytest.approx(5 * DAY)
+
+    def test_zero_disconnections_squashes_cleanly(self):
+        squashed = squash_brief_periods(
+            self._schedule(n_disconnections=0, days=30))
+        assert [p.kind for p in squashed.periods] == [PeriodKind.CONNECTED]
+
 
 class TestSquash:
     def _make(self, spec):
@@ -146,6 +214,118 @@ class TestSquash:
         # Table 3's minimum durations are ~0.25 h because of the
         # 15-minute rule.
         assert 15 * 60.0 / HOUR == pytest.approx(0.25)
+
+
+def _alternating_schedule(durations_hours, start_kind, suspend):
+    """Build a generate_schedule-shaped timeline: strictly alternating
+    top-level periods, each suspension appended right after the
+    disconnection that contains it."""
+    periods = []
+    clock = 0.0
+    kind = start_kind
+    for hours in durations_hours:
+        period = Period(kind, clock, clock + hours * HOUR)
+        periods.append(period)
+        clock = period.end
+        if kind is PeriodKind.DISCONNECTED and suspend and \
+                period.duration > HOUR:
+            third = period.duration / 3
+            periods.append(Period(PeriodKind.SUSPENDED,
+                                  period.start + third,
+                                  period.end - third))
+        kind = (PeriodKind.DISCONNECTED if kind is PeriodKind.CONNECTED
+                else PeriodKind.CONNECTED)
+    return Schedule(periods=periods)
+
+
+class TestSquashProperties:
+    """The invariants squash_brief_periods must preserve."""
+
+    MINIMUM = 15 * 60.0
+
+    @staticmethod
+    def _top_level(schedule):
+        return [p for p in schedule.periods
+                if p.kind is not PeriodKind.SUSPENDED]
+
+    @given(durations=st.lists(
+               st.one_of(st.floats(0.01, 0.24), st.floats(0.26, 30.0)),
+               min_size=1, max_size=12),
+           starts_connected=st.booleans(),
+           suspend=st.booleans())
+    @settings(max_examples=300, deadline=None)
+    def test_invariants(self, durations, starts_connected, suspend):
+        start_kind = (PeriodKind.CONNECTED if starts_connected
+                      else PeriodKind.DISCONNECTED)
+        schedule = _alternating_schedule(durations, start_kind, suspend)
+        squashed = squash_brief_periods(schedule)
+
+        original = self._top_level(schedule)
+        top = self._top_level(squashed)
+
+        # 1. Top-level periods alternate kinds...
+        for earlier, later in zip(top, top[1:]):
+            assert earlier.kind is not later.kind
+        # ...and tile the original timeline exactly.
+        assert top[0].start == original[0].start
+        assert top[-1].end == original[-1].end
+        for earlier, later in zip(top, top[1:]):
+            assert earlier.end == later.start
+
+        # 2. No surviving disconnection is shorter than the minimum.
+        for period in squashed.disconnections():
+            assert period.duration >= self.MINIMUM
+
+        # 3. Every surviving suspension is nested in a surviving
+        #    disconnection (regression: one inside a dropped brief
+        #    disconnection used to be orphaned in connected time).
+        for suspension in squashed.suspensions():
+            containing = [d for d in squashed.disconnections()
+                          if d.start <= suspension.start and
+                          suspension.end <= d.end]
+            assert len(containing) == 1
+
+    def test_orphaned_suspension_regression(self):
+        # A suspension inside a brief (dropped) disconnection must go
+        # with it, and the flanking connected periods must merge.
+        schedule = Schedule(periods=[
+            Period(PeriodKind.CONNECTED, 0.0, 2 * HOUR),
+            Period(PeriodKind.DISCONNECTED, 2 * HOUR, 2.2 * HOUR),
+            Period(PeriodKind.SUSPENDED, 2.05 * HOUR, 2.15 * HOUR),
+            Period(PeriodKind.CONNECTED, 2.2 * HOUR, 5 * HOUR),
+        ])
+        squashed = squash_brief_periods(schedule)
+        assert squashed.suspensions() == []
+        assert [p.kind for p in squashed.periods] == [PeriodKind.CONNECTED]
+        assert squashed.periods[0].duration == pytest.approx(5 * HOUR)
+
+    def test_brief_head_disconnection_becomes_connected(self):
+        # The head edge: no predecessor to merge into.
+        schedule = Schedule(periods=[
+            Period(PeriodKind.DISCONNECTED, 0.0, 0.1 * HOUR),
+            Period(PeriodKind.CONNECTED, 0.1 * HOUR, 3 * HOUR),
+        ])
+        squashed = squash_brief_periods(schedule)
+        assert squashed.disconnections() == []
+        assert len(squashed.periods) == 1
+        assert squashed.periods[0].start == 0.0
+        assert squashed.periods[0].end == pytest.approx(3 * HOUR)
+
+    def test_brief_reconnection_after_suspension_merges(self):
+        # Regression: the suspension entry used to sit between the
+        # disconnection and the brief reconnection, blocking the merge.
+        schedule = Schedule(periods=[
+            Period(PeriodKind.CONNECTED, 0.0, 1 * HOUR),
+            Period(PeriodKind.DISCONNECTED, 1 * HOUR, 21 * HOUR),
+            Period(PeriodKind.SUSPENDED, 8 * HOUR, 14 * HOUR),
+            Period(PeriodKind.CONNECTED, 21 * HOUR, 21.1 * HOUR),
+            Period(PeriodKind.DISCONNECTED, 21.1 * HOUR, 30 * HOUR),
+        ])
+        squashed = squash_brief_periods(schedule)
+        disconnections = squashed.disconnections()
+        assert len(disconnections) == 1
+        assert disconnections[0].duration == pytest.approx(29 * HOUR)
+        assert len(squashed.suspensions()) == 1
 
 
 class TestPeriod:
