@@ -11,23 +11,31 @@ from repro.lint.engine import (
     LintConfig,
     LintResult,
     ModuleInfo,
+    ProjectRule,
+    Rule,
     collect_files,
     load_module,
     render_json,
     render_text,
     run_lint,
 )
+from repro.lint.flow import Cfg, ProjectFlow, build_cfg
 from repro.lint.project import PROJECT_RULES
 from repro.lint.rules import FILE_RULES
 
 __all__ = [
     "Baseline",
+    "Cfg",
     "Finding",
     "LintConfig",
     "LintResult",
     "ModuleInfo",
+    "ProjectFlow",
+    "ProjectRule",
+    "Rule",
     "FILE_RULES",
     "PROJECT_RULES",
+    "build_cfg",
     "collect_files",
     "load_module",
     "render_json",

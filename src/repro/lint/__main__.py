@@ -50,6 +50,10 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     parser.add_argument("--update-baseline", action="store_true",
                         help="rewrite the baseline from current findings "
                              "and exit 0")
+    parser.add_argument("--jobs", type=int, default=1,
+                        help="worker processes for parsing and the "
+                             "per-file rules (default: 1; finding "
+                             "order is identical at any job count)")
     parser.add_argument("--select", default=None,
                         help="comma-separated rule ids to run "
                              "(default: all)")
@@ -84,8 +88,11 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
               file=sys.stderr)
         return 2
 
+    if args.jobs < 1:
+        print("error: --jobs must be >= 1", file=sys.stderr)
+        return 2
     result = run_lint(args.paths, config=LintConfig(), baseline=baseline,
-                      select=select)
+                      select=select, jobs=args.jobs)
 
     if args.update_baseline:
         Baseline.from_findings(result.findings).save(baseline_path)

@@ -1,8 +1,8 @@
 """The analyzer engine: file collection, suppressions, baseline, output.
 
 ``repro.lint`` is a purpose-built static analyzer for *this* codebase.
-Generic linters check style; this one checks the two properties every
-PR since the parallel runner has depended on:
+Generic linters check style; this one checks the three properties
+every PR since the parallel runner has depended on:
 
 * **bit-determinism** -- the same grid cell must produce the same bytes
   in every process, on every host, at every pool size (rules
@@ -10,12 +10,19 @@ PR since the parallel runner has depended on:
 * **enumerable observability and lossless persistence** -- every metric
   name is registered and every checkpointed dataclass round-trips
   exactly (rules RL005-RL006), plus annotation completeness for the
-  strictly-typed core (RL007).
+  strictly-typed core (RL007);
+* **concurrency & resource safety** -- per-function CFGs and a project
+  call graph (``repro.lint.flow``) back rules for blocking calls in
+  event-loop context, lock-set-inconsistent shared state, ``await``
+  under a ``threading.Lock``, orphaned tasks, and resources left open
+  on some path (rules RL008-RL012, ``repro.lint.concurrency``).
 
 The engine parses each file once into a :class:`ModuleInfo`, runs the
-per-file rules, then the whole-project rules, and finally applies
-suppression comments and the committed baseline.  Exit status is zero
-iff no *new* finding survives both filters.
+per-file rules (optionally across a process pool, ``--jobs``), then
+the whole-project rules, and finally applies suppression comments and
+the committed baseline.  Findings are sorted so output is identical
+at every job count.  Exit status is zero iff no *new* finding survives
+both filters.
 
 Suppressions
 ------------
@@ -43,20 +50,25 @@ import json
 import os
 import re
 from dataclasses import dataclass, field
-from typing import (Dict, FrozenSet, Iterable, Iterator, List, Optional,
-                    Sequence, Set, Tuple)
+from typing import (TYPE_CHECKING, Dict, FrozenSet, Iterable, Iterator,
+                    List, Optional, Sequence, Set, Tuple)
 
 __all__ = [
     "Finding",
     "LintConfig",
     "ModuleInfo",
     "Baseline",
+    "Rule",
+    "ProjectRule",
     "collect_files",
     "load_module",
     "run_lint",
     "render_text",
     "render_json",
 ]
+
+if TYPE_CHECKING:
+    from repro.lint.flow import ProjectFlow
 
 _SUPPRESS_RE = re.compile(
     r"#\s*repro-lint:\s*disable=([A-Za-z0-9_*,\s]+?)\s*(?:#|$)")
@@ -190,6 +202,97 @@ def load_module(abspath: str, relpath: str) -> ModuleInfo:
                       file_suppressions=file_suppressions)
 
 
+# ----------------------------------------------------------------------
+# rule base classes (subclassed in rules.py, project.py, concurrency.py)
+# ----------------------------------------------------------------------
+class Rule:
+    """One per-file rule: an id, a name, and a module check."""
+
+    id: str = "RL000"
+    name: str = "abstract"
+    description: str = ""
+
+    def check_module(self, module: ModuleInfo,
+                     config: LintConfig) -> Iterator[Finding]:
+        raise NotImplementedError
+
+    def finding(self, module: ModuleInfo, node: ast.AST,
+                message: str) -> Finding:
+        line = getattr(node, "lineno", 0)
+        col = getattr(node, "col_offset", 0)
+        return Finding(rule=self.id, path=module.relpath, line=line,
+                       col=col, message=message,
+                       snippet=module.line_text(line))
+
+
+class ProjectRule:
+    """A rule over the whole module set.
+
+    *flow* is the shared :class:`~repro.lint.flow.ProjectFlow` built
+    once per run; rules invoked standalone (``flow=None``) build their
+    own when they need one.
+    """
+
+    id: str = "RL000"
+    name: str = "abstract"
+    description: str = ""
+
+    def check_project(self, modules: Dict[str, ModuleInfo],
+                      config: LintConfig,
+                      flow: Optional["ProjectFlow"] = None
+                      ) -> Iterator[Finding]:
+        raise NotImplementedError
+
+    def finding(self, module: ModuleInfo, node: ast.AST,
+                message: str) -> Finding:
+        line = getattr(node, "lineno", 0)
+        col = getattr(node, "col_offset", 0)
+        return Finding(rule=self.id, path=module.relpath, line=line,
+                       col=col, message=message,
+                       snippet=module.line_text(line))
+
+
+# ----------------------------------------------------------------------
+# shared AST helpers (used by rules.py, flow.py, concurrency.py)
+# ----------------------------------------------------------------------
+def _import_aliases(tree: ast.Module, module_name: str) -> Set[str]:
+    """Local names bound to *module_name* by plain imports."""
+    aliases: Set[str] = set()
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Import):
+            for item in node.names:
+                if item.name == module_name:
+                    aliases.add(item.asname or module_name)
+                elif item.name.startswith(module_name + ".") and \
+                        item.asname is None:
+                    aliases.add(module_name)
+    return aliases
+
+
+def _from_imports(tree: ast.Module,
+                  module_name: str) -> Dict[str, str]:
+    """Local name -> original name for ``from module_name import ...``."""
+    bound: Dict[str, str] = {}
+    for node in ast.walk(tree):
+        if isinstance(node, ast.ImportFrom) and node.module == module_name \
+                and node.level == 0:
+            for item in node.names:
+                bound[item.asname or item.name] = item.name
+    return bound
+
+
+def _dotted(node: ast.AST) -> Optional[str]:
+    """`a.b.c` attribute chains as a string, None for anything else."""
+    parts: List[str] = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if isinstance(node, ast.Name):
+        parts.append(node.id)
+        return ".".join(reversed(parts))
+    return None
+
+
 def collect_files(paths: Sequence[str]) -> List[Tuple[str, str]]:
     """Expand *paths* into (abspath, relpath) pairs for every .py file.
 
@@ -294,39 +397,80 @@ class LintResult:
         return not self.findings and not self.parse_errors
 
 
+def _analyze_one(task: Tuple[str, str, LintConfig,
+                             Optional[FrozenSet[str]]]
+                 ) -> Tuple[str, Optional[ModuleInfo],
+                            Optional[Finding], List[Finding]]:
+    """Parse one file and run the per-file rules (worker-pool unit).
+
+    Top-level so multiprocessing can pickle it; ASTs pickle fine, so
+    the parent gets both the findings and the parsed module back (the
+    project rules need every tree at once).
+    """
+    from repro.lint.rules import FILE_RULES
+
+    abspath, relpath, config, wanted = task
+    try:
+        module = load_module(abspath, relpath)
+    except SyntaxError as exc:
+        return relpath, None, Finding(
+            rule="RL000", path=relpath, line=exc.lineno or 0,
+            col=exc.offset or 0,
+            message=f"file does not parse: {exc.msg}"), []
+    findings: List[Finding] = []
+    for rule in FILE_RULES:
+        if wanted is not None and rule.id not in wanted:
+            continue
+        findings.extend(rule.check_module(module, config))
+    return relpath, module, None, findings
+
+
 def run_lint(paths: Sequence[str],
              config: Optional[LintConfig] = None,
              baseline: Optional[Baseline] = None,
-             select: Optional[Sequence[str]] = None) -> LintResult:
-    """Run every rule over *paths* and return the filtered findings."""
-    from repro.lint.rules import FILE_RULES
+             select: Optional[Sequence[str]] = None,
+             jobs: int = 1) -> LintResult:
+    """Run every rule over *paths* and return the filtered findings.
+
+    With ``jobs > 1`` parsing and the per-file rules fan out over a
+    process pool; the whole-project passes (which need every tree in
+    one address space) stay in the parent.  Finding order is
+    deterministic at any job count: the per-file results come back in
+    submission order and the merged list is sorted before filtering.
+    """
     from repro.lint.project import PROJECT_RULES
 
     config = config or LintConfig()
     baseline = baseline or Baseline()
     wanted = frozenset(select) if select else None
 
+    tasks = [(abspath, relpath, config, wanted)
+             for abspath, relpath in collect_files(paths)]
+    if jobs > 1 and len(tasks) > 1:
+        import multiprocessing
+        with multiprocessing.Pool(processes=jobs) as pool:
+            analyzed = pool.map(_analyze_one, tasks)
+    else:
+        analyzed = [_analyze_one(task) for task in tasks]
+
     modules: Dict[str, ModuleInfo] = {}
     parse_errors: List[Finding] = []
-    for abspath, relpath in collect_files(paths):
-        try:
-            modules[relpath] = load_module(abspath, relpath)
-        except SyntaxError as exc:
-            parse_errors.append(Finding(
-                rule="RL000", path=relpath, line=exc.lineno or 0,
-                col=exc.offset or 0,
-                message=f"file does not parse: {exc.msg}"))
-
     raw: List[Finding] = []
-    for module in modules.values():
-        for rule in FILE_RULES:
-            if wanted is not None and rule.id not in wanted:
-                continue
-            raw.extend(rule.check_module(module, config))
-    for project_rule in PROJECT_RULES:
-        if wanted is not None and project_rule.id not in wanted:
+    for relpath, module, error, findings in analyzed:
+        if error is not None or module is None:
+            if error is not None:
+                parse_errors.append(error)
             continue
-        raw.extend(project_rule.check_project(modules, config))
+        modules[relpath] = module
+        raw.extend(findings)
+
+    project_rules = [rule for rule in PROJECT_RULES
+                     if wanted is None or rule.id in wanted]
+    if project_rules:
+        from repro.lint.flow import ProjectFlow
+        flow = ProjectFlow.build(modules)
+        for project_rule in project_rules:
+            raw.extend(project_rule.check_project(modules, config, flow))
 
     raw.sort(key=lambda f: (f.path, f.line, f.col, f.rule))
 

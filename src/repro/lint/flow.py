@@ -1,0 +1,790 @@
+"""Flow analysis for the concurrency rules: CFG, call graph, contexts.
+
+The per-file rules (RL001-RL004) match single statements; the
+concurrency rules (RL008-RL012) need to answer *reachability*
+questions -- "can this blocking call run on the event loop?", "is this
+attribute access reachable from a second execution context?", "does
+every path out of this ``open()`` pass a ``close()``?".  This module
+builds the two structures those questions need:
+
+* :func:`build_cfg` -- a statement-level control-flow graph per
+  function, with *exception edges*: every statement that may raise gets
+  an edge into the enclosing handler chain (or the synthetic
+  ``RAISE_EXIT`` node), so RL012 can check cleanup on the unhappy path
+  too.
+* :class:`ProjectFlow` -- a project-wide call graph with execution
+  -context classification.  Each function is tagged with the set of
+  contexts it may run under: ``event-loop`` (coroutines and everything
+  they call synchronously), ``thread`` (``threading.Thread`` targets,
+  executor submissions, ``loop.run_in_executor`` callables), ``process``
+  (``multiprocessing`` targets and pool functions) and ``main`` (plain
+  code nobody dispatches).  Classification is a fixpoint over call
+  edges, resolved by name with light receiver typing (``self.attr``
+  annotations, constructor assignments, parameter annotations) -- a
+  deliberate over-approximation: a function called from both a
+  coroutine and a thread carries both tags.
+
+Everything here is stdlib-only AST work; nothing is imported from the
+analyzed tree.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, Iterator, List, Optional, Set, Tuple
+
+from repro.lint.engine import ModuleInfo
+
+__all__ = [
+    "CONTEXT_EVENT_LOOP",
+    "CONTEXT_MAIN",
+    "CONTEXT_PROCESS",
+    "CONTEXT_THREAD",
+    "CfgNode",
+    "Cfg",
+    "build_cfg",
+    "FunctionInfo",
+    "ClassInfo",
+    "ProjectFlow",
+]
+
+CONTEXT_MAIN = "main"
+CONTEXT_EVENT_LOOP = "event-loop"
+CONTEXT_THREAD = "thread"
+CONTEXT_PROCESS = "process"
+
+
+# ----------------------------------------------------------------------
+# control-flow graph
+# ----------------------------------------------------------------------
+@dataclass
+class CfgNode:
+    """One statement (or synthetic entry/exit) in a function's CFG."""
+
+    index: int
+    stmt: Optional[ast.stmt]            # None for synthetic nodes
+    label: str = ""                     # "entry" / "exit" / "raise-exit"
+    succ: Set[int] = field(default_factory=set)        # normal flow
+    exc_succ: Set[int] = field(default_factory=set)    # exception flow
+
+
+class Cfg:
+    """Statement-level CFG with normal and exception successor sets.
+
+    Three synthetic nodes: ``entry`` (index 0), ``exit`` (normal
+    completion -- falling off the end or ``return``) and ``raise-exit``
+    (an exception escaping the function).  ``succ`` edges model normal
+    control transfer; ``exc_succ`` edges model "this statement raised",
+    pointing at the innermost live handler or at ``raise-exit``.
+    """
+
+    def __init__(self) -> None:
+        self.nodes: List[CfgNode] = []
+        self.entry = self._new(None, "entry")
+        self.exit = self._new(None, "exit")
+        self.raise_exit = self._new(None, "raise-exit")
+        self.stmt_index: Dict[ast.stmt, int] = {}
+
+    def _new(self, stmt: Optional[ast.stmt], label: str = "") -> int:
+        node = CfgNode(index=len(self.nodes), stmt=stmt, label=label)
+        self.nodes.append(node)
+        if stmt is not None:
+            self.stmt_index[stmt] = node.index
+        return node.index
+
+    def add_edge(self, src: int, dst: int) -> None:
+        self.nodes[src].succ.add(dst)
+
+    def add_exc_edge(self, src: int, dst: int) -> None:
+        self.nodes[src].exc_succ.add(dst)
+
+    def successors(self, index: int,
+                   include_exceptions: bool = True) -> FrozenSet[int]:
+        node = self.nodes[index]
+        if include_exceptions:
+            return frozenset(node.succ | node.exc_succ)
+        return frozenset(node.succ)
+
+
+def _may_raise(stmt: ast.stmt) -> bool:
+    """Conservative: may executing *stmt* raise an exception?
+
+    Anything containing a call, subscript, attribute access, ``raise``,
+    ``assert``, arithmetic or ``await`` may raise.  Plain constant
+    assignments, ``pass``, ``break``/``continue`` and bare name
+    rebindings may not.  Over-approximating here only adds exception
+    edges (more paths for RL012 to check), never hides one.
+    """
+    if isinstance(stmt, (ast.Pass, ast.Break, ast.Continue, ast.Global,
+                         ast.Nonlocal, ast.Import, ast.ImportFrom)):
+        return False
+    if isinstance(stmt, (ast.Raise, ast.Assert)):
+        return True
+    for node in ast.walk(stmt):
+        if isinstance(node, (ast.Call, ast.Subscript, ast.Attribute,
+                             ast.Await, ast.BinOp, ast.UnaryOp,
+                             ast.Compare, ast.Starred)):
+            return True
+    return False
+
+
+def _catches_everything(handler: ast.excepthandler) -> bool:
+    """Does this handler match any exception (bare / BaseException)?
+
+    ``except Exception`` is deliberately *not* total -- it lets
+    KeyboardInterrupt and SystemExit escape, so a handler chain ending
+    there still gets an escape edge to the outer target.
+    """
+    if handler.type is None:
+        return True
+    return isinstance(handler.type, ast.Name) and \
+        handler.type.id == "BaseException"
+
+
+class _CfgBuilder:
+    """Recursive-descent CFG construction over one function body."""
+
+    def __init__(self, cfg: Cfg) -> None:
+        self.cfg = cfg
+        # innermost-first stack of exception targets (handler entry
+        # nodes, or raise-exit); every may-raise statement gets an
+        # exc edge to the current top.
+        self.exc_targets: List[int] = [cfg.raise_exit]
+        # (break target, continue target) stack for loops
+        self.loop_targets: List[Tuple[int, int]] = []
+
+    # -- helpers -------------------------------------------------------
+    def _link(self, sources: List[int], dst: int) -> None:
+        for src in sources:
+            self.cfg.add_edge(src, dst)
+
+    def _stmt_node(self, stmt: ast.stmt) -> int:
+        index = self.cfg._new(stmt)
+        if _may_raise(stmt):
+            self.cfg.add_exc_edge(index, self.exc_targets[-1])
+        return index
+
+    # -- entry ---------------------------------------------------------
+    def build(self, body: List[ast.stmt]) -> None:
+        exits = self.block(body, [self.cfg.entry])
+        self._link(exits, self.cfg.exit)
+
+    def block(self, body: List[ast.stmt],
+              preds: List[int]) -> List[int]:
+        """Wire *body* after *preds*; return the fall-through frontier."""
+        current = preds
+        for stmt in body:
+            if not current:
+                # unreachable code after return/raise/break -- still
+                # build nodes (suppressions etc. need them) but with no
+                # incoming normal edge.
+                current = []
+            current = self.statement(stmt, current)
+        return current
+
+    # -- statement dispatch --------------------------------------------
+    def statement(self, stmt: ast.stmt,
+                  preds: List[int]) -> List[int]:
+        if isinstance(stmt, (ast.If,)):
+            return self._if(stmt, preds)
+        if isinstance(stmt, (ast.For, ast.AsyncFor, ast.While)):
+            return self._loop(stmt, preds)
+        if isinstance(stmt, ast.Try):
+            return self._try(stmt, preds)
+        if isinstance(stmt, (ast.With, ast.AsyncWith)):
+            return self._with(stmt, preds)
+        if isinstance(stmt, ast.Return):
+            node = self._stmt_node(stmt)
+            self._link(preds, node)
+            self.cfg.add_edge(node, self.cfg.exit)
+            return []
+        if isinstance(stmt, ast.Raise):
+            node = self._stmt_node(stmt)
+            self._link(preds, node)
+            # _stmt_node already added the exc edge; no normal successor
+            return []
+        if isinstance(stmt, ast.Break):
+            node = self._stmt_node(stmt)
+            self._link(preds, node)
+            if self.loop_targets:
+                self.cfg.add_edge(node, self.loop_targets[-1][0])
+            return []
+        if isinstance(stmt, ast.Continue):
+            node = self._stmt_node(stmt)
+            self._link(preds, node)
+            if self.loop_targets:
+                self.cfg.add_edge(node, self.loop_targets[-1][1])
+            return []
+        # simple statement (including nested def/class, treated opaque)
+        node = self._stmt_node(stmt)
+        self._link(preds, node)
+        return [node]
+
+    def _if(self, stmt: ast.If, preds: List[int]) -> List[int]:
+        cond = self._stmt_node(stmt)
+        self._link(preds, cond)
+        exits = self.block(stmt.body, [cond])
+        if stmt.orelse:
+            exits += self.block(stmt.orelse, [cond])
+        else:
+            exits.append(cond)
+        return exits
+
+    def _loop(self, stmt: ast.stmt, preds: List[int]) -> List[int]:
+        assert isinstance(stmt, (ast.For, ast.AsyncFor, ast.While))
+        head = self._stmt_node(stmt)
+        self._link(preds, head)
+        # A join node after the loop keeps break targets simple.
+        after = self.cfg._new(None, "loop-exit")
+        self.loop_targets.append((after, head))
+        body_exits = self.block(stmt.body, [head])
+        self._link(body_exits, head)           # back edge
+        self.loop_targets.pop()
+        else_exits = self.block(stmt.orelse, [head]) if stmt.orelse \
+            else [head]
+        self._link(else_exits, after)
+        return [after]
+
+    def _try(self, stmt: ast.Try, preds: List[int]) -> List[int]:
+        # The finally body gets a synthetic entry node so that *both*
+        # the normal exits and every exception edge out of the try body
+        # / handlers funnel through it -- a close in a finally therefore
+        # dominates both the happy and the unhappy path, which is
+        # exactly what RL012 needs.  After the finally, the exceptional
+        # path re-raises: modelled as an exception edge from its last
+        # statements to the next-outer target (over-approximated by
+        # also letting the normal path continue).
+        final_entry: Optional[int] = None
+        if stmt.finalbody:
+            final_entry = self.cfg._new(None, "finally")
+            self.exc_targets.append(final_entry)
+
+        handler_entries = [self.cfg._new(None, "except")
+                           for _ in stmt.handlers]
+        if handler_entries:
+            # Body statements that raise jump to the first handler
+            # entry; an unmatched exception type falls through the
+            # chain and finally escapes to the next-outer target --
+            # unless the chain ends in a catch-all (bare ``except:``
+            # or ``except BaseException``), which matches everything.
+            self.exc_targets.append(handler_entries[0])
+            for left, right in zip(handler_entries, handler_entries[1:]):
+                self.cfg.add_edge(left, right)
+            if not _catches_everything(stmt.handlers[-1]):
+                self.cfg.add_exc_edge(handler_entries[-1],
+                                      self.exc_targets[-2])
+        body_exits = self.block(stmt.body, preds)
+        if handler_entries:
+            self.exc_targets.pop()
+
+        all_exits: List[int] = []
+        else_exits = self.block(stmt.orelse, body_exits) if stmt.orelse \
+            else body_exits
+        all_exits.extend(else_exits)
+        # Handler bodies run with the try's own target popped: an
+        # exception raised *inside* a handler goes to the finally (if
+        # any) or the next-outer handler.
+        for handler, entry in zip(stmt.handlers, handler_entries):
+            all_exits.extend(self.block(handler.body, [entry]))
+
+        if final_entry is not None:
+            self.exc_targets.pop()
+            self._link(all_exits, final_entry)
+            final_exits = self.block(stmt.finalbody, [final_entry])
+            for index in final_exits:
+                self.cfg.add_exc_edge(index, self.exc_targets[-1])
+            return final_exits
+        return all_exits
+
+    def _with(self, stmt: ast.stmt, preds: List[int]) -> List[int]:
+        assert isinstance(stmt, (ast.With, ast.AsyncWith))
+        head = self._stmt_node(stmt)
+        self._link(preds, head)
+        return self.block(stmt.body, [head])
+
+
+def build_cfg(func: ast.AST) -> Cfg:
+    """Build the CFG for one ``def``/``async def`` body."""
+    assert isinstance(func, (ast.FunctionDef, ast.AsyncFunctionDef))
+    cfg = Cfg()
+    _CfgBuilder(cfg).build(list(func.body))
+    return cfg
+
+
+# ----------------------------------------------------------------------
+# call graph & context classification
+# ----------------------------------------------------------------------
+@dataclass
+class CallSite:
+    """One resolved call edge origin."""
+
+    node: ast.Call
+    callee: str                 # qualified key into ProjectFlow.functions
+
+
+@dataclass
+class FunctionInfo:
+    """One function or method definition anywhere in the project."""
+
+    key: str                    # "relpath::Class.method" / "relpath::func"
+    module: ModuleInfo
+    node: ast.AST               # FunctionDef | AsyncFunctionDef
+    name: str
+    class_name: Optional[str]
+    is_async: bool
+    calls: List[CallSite] = field(default_factory=list)
+    contexts: Set[str] = field(default_factory=set)
+
+    @property
+    def func_node(self) -> ast.AST:
+        return self.node
+
+
+@dataclass
+class ClassInfo:
+    """One class definition: methods, attribute types, lock attributes."""
+
+    name: str
+    module: ModuleInfo
+    node: ast.ClassDef
+    bases: List[str] = field(default_factory=list)
+    methods: Dict[str, str] = field(default_factory=dict)  # name -> key
+    attr_types: Dict[str, str] = field(default_factory=dict)
+    lock_attrs: Set[str] = field(default_factory=set)
+
+
+_THREAD_CTORS = frozenset({"Thread", "Timer"})
+_PROCESS_CTORS = frozenset({"Process"})
+_POOL_DISPATCH = frozenset({"map", "imap", "imap_unordered", "starmap",
+                            "map_async", "starmap_async", "apply",
+                            "apply_async"})
+_TASK_SPAWNERS = frozenset({"create_task", "ensure_future"})
+
+
+def _annotation_class(annotation: Optional[ast.expr]) -> Optional[str]:
+    """The class name an annotation resolves to, unwrapping Optional."""
+    if annotation is None:
+        return None
+    node: ast.expr = annotation
+    if isinstance(node, ast.Constant) and isinstance(node.value, str):
+        try:
+            node = ast.parse(node.value, mode="eval").body
+        except SyntaxError:
+            return None
+    while isinstance(node, ast.Subscript):
+        head = node.value
+        head_name = head.attr if isinstance(head, ast.Attribute) else \
+            (head.id if isinstance(head, ast.Name) else None)
+        if head_name in ("Optional", "Final", "ClassVar"):
+            node = node.slice
+            continue
+        return None
+    if isinstance(node, ast.Name):
+        return node.id
+    if isinstance(node, ast.Attribute):
+        return node.attr
+    return None
+
+
+def _call_head(node: ast.Call) -> Optional[str]:
+    """Dotted name of a call target, or None."""
+    parts: List[str] = []
+    target: ast.expr = node.func
+    while isinstance(target, ast.Attribute):
+        parts.append(target.attr)
+        target = target.value
+    if isinstance(target, ast.Name):
+        parts.append(target.id)
+        return ".".join(reversed(parts))
+    return None
+
+
+class ProjectFlow:
+    """Call graph + execution contexts over every analyzed module.
+
+    Built once per ``run_lint`` invocation and handed to each project
+    rule.  Resolution is name-based and intentionally approximate; see
+    the module docstring and docs/static-analysis.md for the known
+    over/under-approximations.
+    """
+
+    def __init__(self) -> None:
+        self.functions: Dict[str, FunctionInfo] = {}
+        self.classes: Dict[str, ClassInfo] = {}
+        # simple name -> keys (for cross-module resolution)
+        self.by_name: Dict[str, List[str]] = {}
+        # method name -> keys on any class
+        self.by_method: Dict[str, List[str]] = {}
+        # callers: callee key -> caller keys
+        self.callers: Dict[str, Set[str]] = {}
+        # names of functions that forward a callable parameter into
+        # run_in_executor / executor.submit (dispatcher pattern)
+        self.executor_dispatchers: Dict[str, int] = {}
+
+    # -- construction --------------------------------------------------
+    @classmethod
+    def build(cls, modules: Dict[str, ModuleInfo]) -> "ProjectFlow":
+        flow = cls()
+        for module in modules.values():
+            flow._index_module(module)
+        flow._resolve_calls(modules)
+        flow._detect_dispatchers()
+        flow._classify_contexts(modules)
+        return flow
+
+    def _index_module(self, module: ModuleInfo) -> None:
+        for node in module.tree.body:
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                self._add_function(module, node, None)
+            elif isinstance(node, ast.ClassDef):
+                self._index_class(module, node)
+
+    def _index_class(self, module: ModuleInfo,
+                     node: ast.ClassDef) -> None:
+        info = ClassInfo(name=node.name, module=module, node=node)
+        for base in node.bases:
+            base_name = base.attr if isinstance(base, ast.Attribute) \
+                else (base.id if isinstance(base, ast.Name) else None)
+            if base_name:
+                info.bases.append(base_name)
+        for child in node.body:
+            if isinstance(child, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                key = self._add_function(module, child, node.name)
+                info.methods[child.name] = key
+            elif isinstance(child, ast.AnnAssign) and \
+                    isinstance(child.target, ast.Name):
+                type_name = _annotation_class(child.annotation)
+                if type_name:
+                    info.attr_types[child.target.id] = type_name
+        # attribute types and lock attributes from method bodies
+        for child in ast.walk(node):
+            self._scan_self_assign(info, child)
+        self.classes.setdefault(node.name, info)
+
+    @staticmethod
+    def _scan_self_assign(info: ClassInfo, node: ast.AST) -> None:
+        targets: List[ast.expr] = []
+        value: Optional[ast.expr] = None
+        annotation: Optional[ast.expr] = None
+        if isinstance(node, ast.Assign):
+            targets, value = node.targets, node.value
+        elif isinstance(node, ast.AnnAssign) and node.value is not None:
+            targets, value, annotation = \
+                [node.target], node.value, node.annotation
+        elif isinstance(node, ast.AnnAssign):
+            targets, annotation = [node.target], node.annotation
+        for target in targets:
+            if not (isinstance(target, ast.Attribute)
+                    and isinstance(target.value, ast.Name)
+                    and target.value.id == "self"):
+                continue
+            attr = target.attr
+            type_name = _annotation_class(annotation)
+            if type_name:
+                info.attr_types.setdefault(attr, type_name)
+            if value is None:
+                continue
+            candidates: List[ast.expr] = [value]
+            if isinstance(value, ast.IfExp):
+                candidates = [value.body, value.orelse]
+            for candidate in candidates:
+                if isinstance(candidate, ast.Call):
+                    head = _call_head(candidate)
+                    if head is None:
+                        continue
+                    leaf = head.split(".")[-1]
+                    if leaf in ("Lock", "RLock") and \
+                            ("threading" in head or head == leaf):
+                        info.lock_attrs.add(attr)
+                    elif leaf and leaf[0].isupper():
+                        info.attr_types.setdefault(attr, leaf)
+
+    def _add_function(self, module: ModuleInfo, node: ast.AST,
+                      class_name: Optional[str]) -> str:
+        assert isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef))
+        qual = f"{class_name}.{node.name}" if class_name else node.name
+        key = f"{module.relpath}::{qual}"
+        info = FunctionInfo(
+            key=key, module=module, node=node, name=node.name,
+            class_name=class_name,
+            is_async=isinstance(node, ast.AsyncFunctionDef))
+        self.functions[key] = info
+        self.by_name.setdefault(node.name, []).append(key)
+        if class_name:
+            self.by_method.setdefault(node.name, []).append(key)
+        return key
+
+    # -- call resolution -----------------------------------------------
+    def _resolve_calls(self, modules: Dict[str, ModuleInfo]) -> None:
+        for info in self.functions.values():
+            module = info.module
+            own_class = self.classes.get(info.class_name or "")
+            for node in ast.walk(info.node):
+                if not isinstance(node, ast.Call):
+                    continue
+                callee_key = self._resolve_call(node, info, own_class)
+                if callee_key is None:
+                    continue
+                info.calls.append(CallSite(node=node, callee=callee_key))
+                self.callers.setdefault(callee_key, set()).add(info.key)
+
+    def _resolve_call(self, node: ast.Call, caller: FunctionInfo,
+                      own_class: Optional[ClassInfo]) -> Optional[str]:
+        func = node.func
+        # self.method(...)
+        if isinstance(func, ast.Attribute) and \
+                isinstance(func.value, ast.Name) and \
+                func.value.id == "self" and own_class is not None:
+            key = self._method_on(own_class, func.attr)
+            if key is not None:
+                return key
+        # self.attr.method(...) with a typed attr
+        if isinstance(func, ast.Attribute) and \
+                isinstance(func.value, ast.Attribute) and \
+                isinstance(func.value.value, ast.Name) and \
+                func.value.value.id == "self" and own_class is not None:
+            attr_type = own_class.attr_types.get(func.value.attr)
+            if attr_type:
+                target = self.classes.get(attr_type)
+                if target is not None:
+                    return self._method_on(target, func.attr)
+        # name(...) -- same module first, then unique cross-module
+        if isinstance(func, ast.Name):
+            return self._function_named(func.id, caller.module)
+        # obj.method(...) where obj is an annotated local/param
+        if isinstance(func, ast.Attribute) and \
+                isinstance(func.value, ast.Name):
+            type_name = self._local_type(caller, func.value.id)
+            if type_name:
+                target = self.classes.get(type_name)
+                if target is not None:
+                    return self._method_on(target, func.attr)
+        return None
+
+    def _method_on(self, cls: ClassInfo, name: str) -> Optional[str]:
+        key = cls.methods.get(name)
+        if key is not None:
+            return key
+        for base in cls.bases:
+            parent = self.classes.get(base)
+            if parent is not None:
+                found = self._method_on(parent, name)
+                if found is not None:
+                    return found
+        return None
+
+    def _function_named(self, name: str,
+                        module: ModuleInfo) -> Optional[str]:
+        local = f"{module.relpath}::{name}"
+        if local in self.functions:
+            return local
+        keys = [k for k in self.by_name.get(name, ())
+                if self.functions[k].class_name is None]
+        if len(keys) == 1:
+            return keys[0]
+        return None
+
+    def _local_type(self, info: FunctionInfo, name: str) -> Optional[str]:
+        node = info.node
+        assert isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef))
+        for arg in (list(node.args.posonlyargs) + list(node.args.args)
+                    + list(node.args.kwonlyargs)):
+            if arg.arg == name:
+                return _annotation_class(arg.annotation)
+        for stmt in ast.walk(node):
+            if isinstance(stmt, ast.AnnAssign) and \
+                    isinstance(stmt.target, ast.Name) and \
+                    stmt.target.id == name:
+                return _annotation_class(stmt.annotation)
+            if isinstance(stmt, ast.Assign) and \
+                    isinstance(stmt.value, ast.Call):
+                for target in stmt.targets:
+                    if isinstance(target, ast.Name) and \
+                            target.id == name:
+                        head = _call_head(stmt.value)
+                        if head:
+                            leaf = head.split(".")[-1]
+                            if leaf and leaf[0].isupper():
+                                return leaf
+        return None
+
+    # -- dispatcher detection ------------------------------------------
+    def _detect_dispatchers(self) -> None:
+        """Functions that forward a callable parameter to an executor.
+
+        ``async def _store_call(self, fn, *args): ...
+        run_in_executor(self._io, partial(fn, *args))`` makes every
+        callable passed *to* ``_store_call`` a thread root.  We record
+        the parameter position so call sites can be classified.
+        """
+        for info in self.functions.values():
+            node = info.node
+            assert isinstance(node, (ast.FunctionDef,
+                                     ast.AsyncFunctionDef))
+            params = [a.arg for a in node.args.args]
+            if params and params[0] in ("self", "cls"):
+                params = params[1:]
+                offset = 1
+            else:
+                offset = 0
+            forwarded: Set[str] = set()
+            for call in ast.walk(node):
+                if not isinstance(call, ast.Call):
+                    continue
+                head = _call_head(call)
+                if head is None:
+                    continue
+                leaf = head.split(".")[-1]
+                if leaf not in ("run_in_executor", "submit"):
+                    continue
+                args = call.args[1:] if leaf == "run_in_executor" \
+                    else call.args
+                for arg in args:
+                    for inner in ast.walk(arg):
+                        if isinstance(inner, ast.Name):
+                            forwarded.add(inner.id)
+            for position, name in enumerate(params):
+                if name in forwarded:
+                    self.executor_dispatchers[info.key] = \
+                        position + offset
+                    break
+
+    # -- context classification ----------------------------------------
+    def _classify_contexts(self, modules: Dict[str, ModuleInfo]) -> None:
+        roots_thread: Set[str] = set()
+        roots_process: Set[str] = set()
+        for info in self.functions.values():
+            if info.is_async:
+                info.contexts.add(CONTEXT_EVENT_LOOP)
+        for info in self.functions.values():
+            own_class = self.classes.get(info.class_name or "")
+            for node in ast.walk(info.node):
+                if not isinstance(node, ast.Call):
+                    continue
+                self._collect_roots(node, info, own_class,
+                                    roots_thread, roots_process)
+        for key in sorted(roots_thread):
+            self.functions[key].contexts.add(CONTEXT_THREAD)
+        for key in sorted(roots_process):
+            self.functions[key].contexts.add(CONTEXT_PROCESS)
+
+        # Fixpoint: a sync function inherits every caller context; an
+        # async function stays event-loop regardless of who awaits it.
+        changed = True
+        while changed:
+            changed = False
+            for info in self.functions.values():
+                for call in info.calls:
+                    callee = self.functions.get(call.callee)
+                    if callee is None or callee.is_async:
+                        continue
+                    before = len(callee.contexts)
+                    callee.contexts.update(info.contexts)
+                    if len(callee.contexts) != before:
+                        changed = True
+
+        for info in self.functions.values():
+            if not info.contexts:
+                info.contexts.add(CONTEXT_MAIN)
+
+    def _collect_roots(self, node: ast.Call, caller: FunctionInfo,
+                       own_class: Optional[ClassInfo],
+                       roots_thread: Set[str],
+                       roots_process: Set[str]) -> None:
+        head = _call_head(node)
+        if head is None:
+            return
+        leaf = head.split(".")[-1]
+
+        def resolve_callable(expr: ast.expr) -> Optional[str]:
+            target: ast.expr = expr
+            if isinstance(target, ast.Call):
+                # partial(fn, ...) / functools.partial(fn, ...)
+                inner_head = _call_head(target)
+                if inner_head and \
+                        inner_head.split(".")[-1] == "partial" and \
+                        target.args:
+                    target = target.args[0]
+            if isinstance(target, ast.Attribute) and \
+                    isinstance(target.value, ast.Name) and \
+                    target.value.id == "self" and own_class is not None:
+                return self._method_on(own_class, target.attr)
+            if isinstance(target, ast.Attribute) and \
+                    isinstance(target.value, ast.Attribute) and \
+                    isinstance(target.value.value, ast.Name) and \
+                    target.value.value.id == "self" and \
+                    own_class is not None:
+                attr_type = own_class.attr_types.get(target.value.attr)
+                if attr_type:
+                    cls = self.classes.get(attr_type)
+                    if cls is not None:
+                        return self._method_on(cls, target.attr)
+            if isinstance(target, ast.Name):
+                return self._function_named(target.id, caller.module)
+            return None
+
+        # Thread(target=f) / Process(target=f) / Timer(1, f)
+        if leaf in _THREAD_CTORS or leaf in _PROCESS_CTORS:
+            pool = roots_process if leaf in _PROCESS_CTORS \
+                else roots_thread
+            for kw in node.keywords:
+                if kw.arg == "target":
+                    key = resolve_callable(kw.value)
+                    if key:
+                        pool.add(key)
+            if leaf == "Timer" and len(node.args) >= 2:
+                key = resolve_callable(node.args[1])
+                if key:
+                    roots_thread.add(key)
+            return
+        # executor.submit(f, ...) / loop.run_in_executor(ex, f, ...)
+        if leaf == "submit" and node.args:
+            key = resolve_callable(node.args[0])
+            if key:
+                roots_thread.add(key)
+            return
+        if leaf == "run_in_executor" and len(node.args) >= 2:
+            key = resolve_callable(node.args[1])
+            if key:
+                roots_thread.add(key)
+            return
+        # pool.map(f, ...) and friends -- process context
+        if leaf in _POOL_DISPATCH and node.args:
+            key = resolve_callable(node.args[0])
+            if key:
+                roots_process.add(key)
+            return
+        # dispatcher call: self._store_call(self._store.put, ...)
+        callee_key = self._resolve_call(node, caller, own_class)
+        if callee_key is not None and \
+                callee_key in self.executor_dispatchers:
+            position = self.executor_dispatchers[callee_key]
+            # positional args past self are shifted by one relative to
+            # the parameter index
+            arg_index = position - 1 if isinstance(node.func,
+                                                   ast.Attribute) else \
+                position
+            if 0 <= arg_index < len(node.args):
+                key = resolve_callable(node.args[arg_index])
+                if key:
+                    roots_thread.add(key)
+
+    # -- queries -------------------------------------------------------
+    def contexts_of(self, key: str) -> FrozenSet[str]:
+        info = self.functions.get(key)
+        if info is None:
+            return frozenset()
+        return frozenset(info.contexts)
+
+    def functions_in(self, module: ModuleInfo
+                     ) -> Iterator[FunctionInfo]:
+        for info in self.functions.values():
+            if info.module is module:
+                yield info
+
+    def lock_attrs_of(self, class_name: str) -> FrozenSet[str]:
+        info = self.classes.get(class_name)
+        if info is None:
+            return frozenset()
+        return frozenset(info.lock_attrs)

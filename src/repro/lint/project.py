@@ -14,7 +14,13 @@ import ast
 import re
 from typing import Dict, FrozenSet, Iterator, List, Optional, Set, Tuple
 
-from repro.lint.engine import Finding, LintConfig, ModuleInfo
+from typing import TYPE_CHECKING
+
+from repro.lint.engine import (Finding, LintConfig, ModuleInfo,
+                               ProjectRule)
+
+if TYPE_CHECKING:
+    from repro.lint.flow import ProjectFlow
 
 __all__ = ["PROJECT_RULES", "ProjectRule", "MetricsRegistry",
            "SerdeCompleteness"]
@@ -28,26 +34,6 @@ _LOSSLESS_LEAVES = frozenset({"int", "float", "str", "bool", "None"})
 _LOSSLESS_CONTAINERS = frozenset({"List", "list", "Tuple", "tuple",
                                   "Sequence", "Optional", "Union",
                                   "Dict", "dict", "Mapping"})
-
-
-class ProjectRule:
-    """A rule over the whole module set."""
-
-    id: str = "RL000"
-    name: str = "abstract"
-    description: str = ""
-
-    def check_project(self, modules: Dict[str, ModuleInfo],
-                      config: LintConfig) -> Iterator[Finding]:
-        raise NotImplementedError
-
-    def finding(self, module: ModuleInfo, node: ast.AST,
-                message: str) -> Finding:
-        line = getattr(node, "lineno", 0)
-        col = getattr(node, "col_offset", 0)
-        return Finding(rule=self.id, path=module.relpath, line=line,
-                       col=col, message=message,
-                       snippet=module.line_text(line))
 
 
 # ----------------------------------------------------------------------
@@ -72,7 +58,9 @@ class MetricsRegistry(ProjectRule):
                    "declared in repro/observability/registry.py")
 
     def check_project(self, modules: Dict[str, ModuleInfo],
-                      config: LintConfig) -> Iterator[Finding]:
+                      config: LintConfig,
+                      flow: Optional["ProjectFlow"] = None
+                      ) -> Iterator[Finding]:
         registry = modules.get(config.metrics_registry_path)
         if registry is None:
             # Linting a subtree without the registry: nothing to check
@@ -191,7 +179,9 @@ class SerdeCompleteness(ProjectRule):
                    "field type")
 
     def check_project(self, modules: Dict[str, ModuleInfo],
-                      config: LintConfig) -> Iterator[Finding]:
+                      config: LintConfig,
+                      flow: Optional["ProjectFlow"] = None
+                      ) -> Iterator[Finding]:
         serde = modules.get(config.serde_module_path)
         if serde is None:
             return
@@ -408,7 +398,16 @@ class SerdeCompleteness(ProjectRule):
                f"recognised as lossless", None)
 
 
+# Imported at the bottom: concurrency.py subclasses ProjectRule (via
+# engine) and registers its whole-project rules here so every entry
+# point sees one complete PROJECT_RULES tuple.
+from repro.lint.concurrency import (AwaitUnderThreadLock,  # noqa: E402
+                                    BlockingInEventLoop, LockSetRaces)
+
 PROJECT_RULES: Tuple[ProjectRule, ...] = (
     MetricsRegistry(),
     SerdeCompleteness(),
+    BlockingInEventLoop(),
+    LockSetRaces(),
+    AwaitUnderThreadLock(),
 )

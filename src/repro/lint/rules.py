@@ -11,68 +11,11 @@ from __future__ import annotations
 import ast
 from typing import Dict, FrozenSet, Iterator, List, Optional, Set, Tuple
 
-from repro.lint.engine import Finding, LintConfig, ModuleInfo
+from repro.lint.engine import (Finding, LintConfig, ModuleInfo, Rule,
+                               _dotted, _from_imports, _import_aliases)
 
 __all__ = ["FILE_RULES", "Rule", "NoWallClock", "NoUnseededRandom",
            "NoBuiltinHash", "OrderStableIteration", "TypedCore"]
-
-
-class Rule:
-    """One per-file rule: an id, a name, and a module check."""
-
-    id: str = "RL000"
-    name: str = "abstract"
-    description: str = ""
-
-    def check_module(self, module: ModuleInfo,
-                     config: LintConfig) -> Iterator[Finding]:
-        raise NotImplementedError
-
-    def finding(self, module: ModuleInfo, node: ast.AST,
-                message: str) -> Finding:
-        line = getattr(node, "lineno", 0)
-        col = getattr(node, "col_offset", 0)
-        return Finding(rule=self.id, path=module.relpath, line=line,
-                       col=col, message=message,
-                       snippet=module.line_text(line))
-
-
-def _import_aliases(tree: ast.Module, module_name: str) -> Set[str]:
-    """Local names bound to *module_name* by plain imports."""
-    aliases: Set[str] = set()
-    for node in ast.walk(tree):
-        if isinstance(node, ast.Import):
-            for item in node.names:
-                if item.name == module_name:
-                    aliases.add(item.asname or module_name)
-                elif item.name.startswith(module_name + ".") and \
-                        item.asname is None:
-                    aliases.add(module_name)
-    return aliases
-
-
-def _from_imports(tree: ast.Module,
-                  module_name: str) -> Dict[str, str]:
-    """Local name -> original name for ``from module_name import ...``."""
-    bound: Dict[str, str] = {}
-    for node in ast.walk(tree):
-        if isinstance(node, ast.ImportFrom) and node.module == module_name \
-                and node.level == 0:
-            for item in node.names:
-                bound[item.asname or item.name] = item.name
-    return bound
-
-
-def _dotted(node: ast.AST) -> Optional[str]:
-    """`a.b.c` attribute chains as a string, None for anything else."""
-    parts: List[str] = []
-    while isinstance(node, ast.Attribute):
-        parts.append(node.attr)
-        node = node.value
-    if isinstance(node, ast.Name):
-        parts.append(node.id)
-        return ".".join(reversed(parts))
-    return None
 
 
 # ----------------------------------------------------------------------
@@ -499,10 +442,17 @@ class TypedCore(Rule):
                 f"(package is mypy --strict)")
 
 
+# Imported at the bottom: concurrency.py needs Rule (via engine) but
+# registers its per-file rules here so every entry point sees one
+# complete FILE_RULES tuple.
+from repro.lint.concurrency import OrphanedTask, ResourceSafety  # noqa: E402
+
 FILE_RULES: Tuple[Rule, ...] = (
     NoWallClock(),
     NoUnseededRandom(),
     NoBuiltinHash(),
     OrderStableIteration(),
     TypedCore(),
+    OrphanedTask(),
+    ResourceSafety(),
 )

@@ -73,15 +73,16 @@ class Metrics:
     production code fails its test immediately; production runs stay
     permissive so a hot path never pays for a typo with a crash.
 
-    Recording is thread-safe: every read-modify-write (``incr``,
+    The whole class is thread-safe: every read-modify-write (``incr``,
     ``mark``, ``timed``, ``observe``, ``absorb_counters``) holds a
     per-instance lock, so a registry shared between the service
-    daemon's actors and a thread folding worker snapshots cannot lose
-    updates to interleaving.  Under plain single-threaded use the
-    uncontended lock costs tens of nanoseconds per record.
-    ``snapshot`` takes the same lock, so a snapshot is internally
-    consistent; single-key reads like ``counter`` are already atomic
-    dictionary lookups and stay lock-free.
+    daemon's event loop and the store's IO thread cannot lose updates
+    to interleaving.  The read side (``counter``, ``span``, ``timer``,
+    ``rate``, ``snapshot``, ``render``) holds the *same* lock -- lint
+    rule RL009 enforces the pairing, because a lock-free read of a
+    dict another thread is resizing can tear.  Under plain
+    single-threaded use the uncontended lock costs tens of
+    nanoseconds per access.
     """
 
     __slots__ = ("counters", "spans", "timers", "strict", "_lock")
@@ -179,18 +180,22 @@ class Metrics:
     # reading
     # ------------------------------------------------------------------
     def counter(self, name: str) -> int:
-        return self.counters.get(name, 0)
+        with self._lock:
+            return self.counters.get(name, 0)
 
     def span(self, name: str) -> Optional[SpanStat]:
-        return self.spans.get(name)
+        with self._lock:
+            return self.spans.get(name)
 
     def timer(self, name: str) -> Optional[TimerStat]:
-        return self.timers.get(name)
+        with self._lock:
+            return self.timers.get(name)
 
     def rate(self, name: str) -> float:
         """Observed rate of span *name* in events/second."""
-        span = self.spans.get(name)
-        return span.rate if span is not None else 0.0
+        with self._lock:
+            span = self.spans.get(name)
+            return span.rate if span is not None else 0.0
 
     def snapshot(self) -> Dict[str, float]:
         """Flatten everything into one name -> number mapping."""
@@ -214,18 +219,20 @@ class Metrics:
         on the same line and reports diff cleanly.
         """
         lines = ["metrics:"]
-        for name in sort_metric_names(list(self.counters)):
-            lines.append(f"  {name:<40s} {self.counters[name]:>14,d}")
-        for name in sort_metric_names(list(self.spans)):
-            span = self.spans[name]
-            lines.append(f"  {name + '.per_second':<40s} {span.rate:>14,.0f}"
-                         f"  ({span.count:,d} in {span.elapsed:.3f}s)")
-        for name in sort_metric_names(list(self.timers)):
-            timer = self.timers[name]
-            lines.append(f"  {name + '.mean_seconds':<40s} "
-                         f"{timer.mean_seconds:>14.6f}"
-                         f"  ({timer.calls} calls, "
-                         f"{timer.total_seconds:.3f}s total)")
+        with self._lock:
+            for name in sort_metric_names(list(self.counters)):
+                lines.append(f"  {name:<40s} {self.counters[name]:>14,d}")
+            for name in sort_metric_names(list(self.spans)):
+                span = self.spans[name]
+                lines.append(f"  {name + '.per_second':<40s} "
+                             f"{span.rate:>14,.0f}"
+                             f"  ({span.count:,d} in {span.elapsed:.3f}s)")
+            for name in sort_metric_names(list(self.timers)):
+                timer = self.timers[name]
+                lines.append(f"  {name + '.mean_seconds':<40s} "
+                             f"{timer.mean_seconds:>14.6f}"
+                             f"  ({timer.calls} calls, "
+                             f"{timer.total_seconds:.3f}s total)")
         return "\n".join(lines)
 
     def reset(self) -> None:

@@ -66,28 +66,47 @@ class ServiceClient:
     # connection management
     # ------------------------------------------------------------------
     async def connect(self) -> Dict[str, Any]:
-        """Open the connection and perform the hello/welcome handshake."""
+        """Open the connection and perform the hello/welcome handshake.
+
+        A failure *after* the TCP/unix connect succeeds (handshake
+        frame refused, welcome malformed, write raising) closes the
+        just-opened writer before re-raising -- otherwise every retry
+        attempt would leak one live socket (lint rule RL012).
+        """
         if self.unix_path is not None:
             self._reader, self._writer = await asyncio.open_unix_connection(
                 self.unix_path, limit=protocol.MAX_LINE_BYTES)
         else:
             self._reader, self._writer = await asyncio.open_connection(
                 self.host, self.port, limit=protocol.MAX_LINE_BYTES)
-        welcome = await self._roundtrip({"type": "hello",
-                                         "tenant": self.tenant})
-        if welcome.get("type") != "welcome":
-            raise ConnectionError(f"handshake failed: {welcome!r}")
+        try:
+            welcome = await self._roundtrip({"type": "hello",
+                                             "tenant": self.tenant})
+            if welcome.get("type") != "welcome":
+                raise ConnectionError(f"handshake failed: {welcome!r}")
+        except BaseException:
+            await self.close()
+            raise
         return welcome
 
     async def close(self) -> None:
-        if self._writer is not None:
-            self._writer.close()
-            try:
-                await self._writer.wait_closed()
-            except (ConnectionError, OSError):
-                pass
+        """Drop the connection; always forgets the reader/writer pair.
+
+        The refs are cleared *before* ``wait_closed`` so that an
+        unexpected exception from the drain (anything beyond the
+        routine ConnectionError/OSError of an already-dead peer)
+        cannot strand the client holding a half-closed writer it
+        believes is live.
+        """
+        writer = self._writer
         self._reader = None
         self._writer = None
+        if writer is not None:
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionError, OSError):
+                pass
 
     async def __aenter__(self) -> "ServiceClient":
         # Deliberately lazy: the first request connects inside the

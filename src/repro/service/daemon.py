@@ -41,7 +41,20 @@ import sys
 import time
 import zlib
 from collections import deque
-from typing import Any, Deque, Dict, List, Optional, Set, Tuple, Union
+from concurrent.futures import ThreadPoolExecutor
+from functools import partial
+from typing import (
+    Any,
+    Callable,
+    Deque,
+    Dict,
+    List,
+    Optional,
+    Set,
+    Tuple,
+    TypeVar,
+    Union,
+)
 
 from repro.core.parameters import DEFAULT_PARAMETERS, SeerParameters
 from repro.faults import FaultInjector, FaultProfile, profile_from_name
@@ -68,6 +81,8 @@ LATENCY_SAMPLES = 4096
 #: Snapshot suffixes that are not plain counters (runner convention).
 _NON_COUNTER_SUFFIXES = (".count", ".seconds", ".per_second", ".calls",
                          ".total_seconds", ".mean_seconds")
+
+_T = TypeVar("_T")
 
 
 def _percentile(samples: List[float], fraction: float) -> float:
@@ -118,6 +133,13 @@ class HoardDaemon:
         self._server: Optional[asyncio.AbstractServer] = None
         self._unix_path: Optional[str] = None
         self._store: Optional[StateStore] = None
+        # Single-thread executor for every blocking store touch: the
+        # sqlite backend's connection has thread affinity
+        # (check_same_thread) and both backends do real disk IO, so one
+        # dedicated thread keeps the event loop responsive while still
+        # serializing store access.  Lint rule RL008 enforces the
+        # routing.
+        self._io: Optional[ThreadPoolExecutor] = None
         self._latencies: Deque[float] = deque(maxlen=LATENCY_SAMPLES)
         self._queue_high_water = 0
         self._stopping = False
@@ -127,26 +149,49 @@ class HoardDaemon:
     # ------------------------------------------------------------------
     async def start(self, host: str = "127.0.0.1", port: int = 0,
                     unix_path: Optional[str] = None) -> None:
-        """Open the checkpoint store, spawn workers, begin listening."""
+        """Open the checkpoint store, spawn workers, begin listening.
+
+        A failure partway through (store directory unusable, socket
+        already bound) unwinds everything acquired so far -- workers,
+        store, IO thread -- so a caller that catches the error holds a
+        daemon with no live resources and may retry ``start``.
+        """
         if self._server is not None:
             raise RuntimeError("daemon already started")
-        if self.checkpoint_dir is not None:
-            self._store = open_store(self.store_backend, self.checkpoint_dir,
-                                     metrics=self.metrics)
-        self._run_queues = [asyncio.Queue() for _ in range(self.shards)]
-        self._workers = [
-            asyncio.get_running_loop().create_task(
-                self._worker(run_queue), name=f"hoard-shard-{index}")
-            for index, run_queue in enumerate(self._run_queues)]
-        if unix_path is not None:
-            self._unix_path = unix_path
-            self._server = await asyncio.start_unix_server(
-                self._on_connection, path=unix_path,
-                limit=protocol.MAX_LINE_BYTES)
-        else:
-            self._server = await asyncio.start_server(
-                self._on_connection, host=host, port=port,
-                limit=protocol.MAX_LINE_BYTES)
+        self._io = ThreadPoolExecutor(max_workers=1,
+                                      thread_name_prefix="hoard-io")
+        try:
+            if self.checkpoint_dir is not None:
+                self._store = await self._store_call(self._open_store)
+            self._run_queues = [asyncio.Queue()
+                                for _ in range(self.shards)]
+            self._workers = [
+                asyncio.get_running_loop().create_task(
+                    self._worker(run_queue), name=f"hoard-shard-{index}")
+                for index, run_queue in enumerate(self._run_queues)]
+            if unix_path is not None:
+                self._unix_path = unix_path
+                self._server = await asyncio.start_unix_server(
+                    self._on_connection, path=unix_path,
+                    limit=protocol.MAX_LINE_BYTES)
+            else:
+                self._server = await asyncio.start_server(
+                    self._on_connection, host=host, port=port,
+                    limit=protocol.MAX_LINE_BYTES)
+        except BaseException:
+            for worker in self._workers:
+                worker.cancel()
+            if self._workers:
+                await asyncio.gather(*self._workers,
+                                     return_exceptions=True)
+            self._workers = []
+            self._run_queues = []
+            await self._store_call(self._close_store)
+            if self._io is not None:
+                self._io.shutdown(wait=True)
+                self._io = None
+            self._unix_path = None
+            raise
 
     @property
     def address(self) -> Union[Tuple[str, int], str, None]:
@@ -178,17 +223,49 @@ class HoardDaemon:
             with self.metrics.timed("service.drain"):
                 for tenant in sorted(self._actors):
                     await self._actors[tenant].inbox.join()
-                self.checkpoint_all()
+                if self._io is not None:
+                    await self._store_call(self.checkpoint_all)
         for worker in self._workers:
             worker.cancel()
         if self._workers:
             await asyncio.gather(*self._workers, return_exceptions=True)
         self._workers = []
-        if self._store is not None:
-            self._store.flush()
-            self._store.close()
-            self._store = None
+        if self._io is not None:
+            await self._store_call(self._close_store)
+            self._io.shutdown(wait=True)
+            self._io = None
         self._server = None
+
+    # ------------------------------------------------------------------
+    # the store IO thread
+    # ------------------------------------------------------------------
+    async def _store_call(self, fn: Callable[..., _T],
+                          *args: Any) -> _T:
+        """Run one blocking store operation on the daemon's IO thread.
+
+        All store access from coroutine context funnels through here
+        (lint rule RL008 flags any direct call): the handoff keeps the
+        event loop free during disk IO, and the one-thread executor
+        gives the sqlite connection a stable home thread.
+        """
+        assert self._io is not None, "daemon is not started"
+        loop = asyncio.get_running_loop()
+        return await loop.run_in_executor(self._io, partial(fn, *args))
+
+    def _open_store(self) -> StateStore:
+        """Blocking open of the checkpoint store (IO thread only)."""
+        assert self.checkpoint_dir is not None
+        return open_store(self.store_backend, self.checkpoint_dir,
+                          metrics=self.metrics)
+
+    def _close_store(self) -> None:
+        """Blocking flush+close of the store (IO thread only)."""
+        store: Optional[StateStore] = self._store
+        if store is None:
+            return
+        self._store = None
+        store.flush()
+        store.close()
 
     # ------------------------------------------------------------------
     # actors and sharding
@@ -205,21 +282,58 @@ class HoardDaemon:
                          days=0.0)
         return spec_for_parameters(spec, self.parameters)
 
-    def actor_for(self, tenant: str) -> TenantActor:
-        """Get or lazily create (and maybe restore) a tenant's actor."""
-        actor = self._actors.get(tenant)
-        if actor is not None:
-            return actor
+    def _store_entry(self, tenant: str) -> Optional[Any]:
+        """Blocking restore-read of a tenant's checkpoint (IO thread).
+
+        Returns the store entry (or None) without touching actor
+        state; registration happens back on the event loop.
+        """
+        if self._store is None or not self.resume:
+            return None
+        return self._store.get(self._spec_for(tenant))
+
+    def _register_actor(self, tenant: str,
+                        entry: Optional[Any]) -> TenantActor:
+        """Create a tenant's actor, restoring from *entry* if given."""
         actor = TenantActor(tenant, parameters=self.parameters,
                             queue_bound=self.queue_bound)
-        if self._store is not None and self.resume:
-            entry = self._store.get(self._spec_for(tenant))
-            if entry is not None:
-                actor.load_state(entry.result)
-                self.metrics.incr("service.tenants_restored")
+        if entry is not None:
+            actor.load_state(entry.result)
+            self.metrics.incr("service.tenants_restored")
         self._actors[tenant] = actor
         self.metrics.incr("service.tenants")
         return actor
+
+    def actor_for(self, tenant: str) -> TenantActor:
+        """Get or lazily create (and maybe restore) a tenant's actor.
+
+        Synchronous variant for embedders and tests driving the daemon
+        without a running server; request dispatch uses
+        :meth:`_actor_for`, which reads the checkpoint store on the IO
+        thread instead of blocking the event loop.
+        """
+        actor = self._actors.get(tenant)
+        if actor is not None:
+            return actor
+        return self._register_actor(tenant, self._store_entry(tenant))
+
+    async def _actor_for(self, tenant: str) -> TenantActor:
+        """Async ``actor_for``: the restore read runs on the IO thread.
+
+        The registry is re-checked after the await -- two connections
+        racing to create the same tenant must converge on one actor
+        (the loser's restore read is discarded).
+        """
+        actor = self._actors.get(tenant)
+        if actor is not None:
+            return actor
+        if self._store is None or not self.resume:
+            return self._register_actor(tenant, None)
+        entry = await self._store_call(self._store_entry, tenant)
+        actor = self._actors.get(tenant)
+        if actor is not None:
+            return actor
+        return self._register_actor(tenant, entry)
 
     def tenants(self) -> List[str]:
         return sorted(self._actors)
@@ -249,7 +363,15 @@ class HoardDaemon:
                 except asyncio.QueueEmpty:
                     break
                 try:
-                    self._process(actor, item)
+                    if isinstance(item, CheckpointRequest):
+                        # The only inbox item that touches the store;
+                        # it awaits the IO thread, so it is handled
+                        # here rather than in the sync _process.  The
+                        # actor stays owned by this worker across the
+                        # await (scheduled=True prevents requeueing).
+                        await self._handle_checkpoint(actor, item)
+                    else:
+                        self._process(actor, item)
                 finally:
                     actor.inbox.task_done()
             actor.busy_seconds += time.perf_counter() - started
@@ -281,18 +403,32 @@ class HoardDaemon:
                 future.set_result(actor.hoard_fill(item))
             elif isinstance(item, StatsRequest):
                 future.set_result(actor.stats())
-            elif isinstance(item, CheckpointRequest):
-                future.set_result(self._checkpoint(actor))
             elif isinstance(item, DrainBarrier):
                 future.set_result({})
         except Exception as error:   # surfaced to the requester
             if not future.done():
                 future.set_exception(error)
 
+    async def _handle_checkpoint(self, actor: TenantActor,
+                                 item: CheckpointRequest) -> None:
+        """Serve one CheckpointRequest via the IO thread."""
+        future = item.future
+        if future.done():
+            return   # requester went away (cancelled connection)
+        try:
+            result = await self._store_call(self._checkpoint, actor)
+        except Exception as error:   # surfaced to the requester
+            if not future.done():
+                future.set_exception(error)
+            return
+        if not future.done():
+            future.set_result(result)
+
     # ------------------------------------------------------------------
     # checkpointing
     # ------------------------------------------------------------------
     def _checkpoint(self, actor: TenantActor) -> Dict[str, Any]:
+        """Blocking persist of one actor (IO thread when serving)."""
         if self._store is None:
             raise protocol.ProtocolError(
                 "no-store", "daemon runs without a checkpoint store "
@@ -303,7 +439,11 @@ class HoardDaemon:
         return {"checkpointed": actor.tenant, "last_seq": actor.last_seq}
 
     def checkpoint_all(self) -> int:
-        """Persist every live tenant (the drain path); returns a count."""
+        """Persist every live tenant (the drain path); returns a count.
+
+        Blocking; ``stop`` runs it through :meth:`_store_call`.  Safe
+        to call directly on a never-started daemon (no store: no-op).
+        """
         if self._store is None:
             return 0
         for tenant in sorted(self._actors):
@@ -394,7 +534,7 @@ class HoardDaemon:
                                      server="repro-hoard-daemon",
                                      shards=self.shards)
         tenant = protocol.validate_tenant(message.get("tenant"))
-        actor = self.actor_for(tenant)
+        actor = await self._actor_for(tenant)
         if kind == "events":
             references = protocol.references_from_wire(
                 message.get("records"))

@@ -308,7 +308,11 @@ def checkpoint_path(checkpoint_dir: str, spec: ShardSpec) -> str:
 def write_checkpoint(checkpoint_dir: str, spec: ShardSpec, data: Dict,
                      elapsed_seconds: float) -> str:
     """Atomically persist one completed cell as ``<shard_id>.json``."""
-    JsonDirStore(checkpoint_dir).open().put(spec, data, elapsed_seconds)
+    store = JsonDirStore(checkpoint_dir).open()
+    try:
+        store.put(spec, data, elapsed_seconds)
+    finally:
+        store.close()
     return checkpoint_path(checkpoint_dir, spec)
 
 
